@@ -1,0 +1,53 @@
+"""Ablation: batched vs per-loop cuFFT for the subsampled transforms.
+
+Real wall-clock: one batched NumPy FFT over an (L, B) array vs L separate
+calls — the same amortization the batched cuFFT mode models.  Modeled rows
+print at the end.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_experiment
+from repro.cufft import CufftPlan
+
+_L, _B = 16, 1 << 14
+
+
+@pytest.fixture(scope="module")
+def rows():
+    gen = np.random.default_rng(13)
+    return gen.standard_normal((_L, _B)) + 1j * gen.standard_normal((_L, _B))
+
+
+def test_batched_fft(benchmark, rows):
+    """One batched call over all loops."""
+    plan = CufftPlan(_B, batch=_L)
+    out = benchmark(lambda: plan.execute(rows))
+    assert out.shape == (_L, _B)
+
+
+def test_looped_fft(benchmark, rows):
+    """L separate single-transform calls."""
+    plan = CufftPlan(_B, batch=1)
+
+    def run():
+        return np.stack([plan.execute(rows[i]) for i in range(_L)])
+
+    out = benchmark(run)
+    assert out.shape == (_L, _B)
+
+
+def test_batched_and_looped_agree(rows):
+    plan_b = CufftPlan(_B, batch=_L)
+    plan_1 = CufftPlan(_B, batch=1)
+    batched = plan_b.execute(rows)
+    looped = np.stack([plan_1.execute(rows[i]) for i in range(_L)])
+    assert np.allclose(batched, looped)
+
+
+def test_print_ablation_rows(benchmark):
+    """Regenerate the abl-batch rows (modeled, paper scale)."""
+    benchmark.pedantic(
+        lambda: print_experiment("abl-batch"), rounds=1, iterations=1
+    )

@@ -1,0 +1,47 @@
+"""Ablation: fast k-selection (Algorithm 6) vs Thrust sort&select (Alg 3).
+
+Real wall-clock: the two functional cutoffs over realistic bucket arrays.
+Modeled rows for the full transform print at the end.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_experiment
+from repro.gpu.kernels import fast_select_functional, sort_select_functional
+
+_B, _K = 1 << 16, 512
+
+
+@pytest.fixture(scope="module")
+def magnitudes(rng=None):
+    gen = np.random.default_rng(7)
+    mags = np.abs(gen.standard_normal(_B)) * 0.01
+    mags[gen.choice(_B, _K, replace=False)] = 5.0 + gen.random(_K)
+    return mags
+
+
+@pytest.mark.parametrize(
+    "select", [sort_select_functional, fast_select_functional],
+    ids=["sort-select", "fast-select"],
+)
+def test_cutoff_functional(benchmark, magnitudes, select):
+    """Cutoff wall-clock over 2^16 buckets, k=512."""
+    chosen, _ = benchmark(lambda: select(magnitudes, _K))
+    assert chosen.size >= _K
+
+
+def test_selections_agree_on_signal_buckets(magnitudes):
+    """Both cutoffs keep every genuinely large bucket."""
+    truth = set(np.flatnonzero(magnitudes > 1.0).tolist())
+    a, _ = sort_select_functional(magnitudes, _K)
+    b, _ = fast_select_functional(magnitudes, _K)
+    assert truth <= set(a.tolist())
+    assert truth <= set(b.tolist())
+
+
+def test_print_ablation_rows(benchmark):
+    """Regenerate the abl-select rows (modeled, paper scale)."""
+    benchmark.pedantic(
+        lambda: print_experiment("abl-select"), rounds=1, iterations=1
+    )

@@ -1,0 +1,62 @@
+"""Ablation: asynchronous data-layout transformation (Section V-A).
+
+Real wall-clock: fused strided binning vs the remap+exec split (functional
+bodies).  Modeled rows — where the stream overlap actually pays — print at
+the end.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_experiment, shared_plan, shared_signal
+from repro.cusim import GpuSimulation, KEPLER_K20X
+from repro.gpu.kernels import (
+    bin_layout_functional,
+    bin_partition_functional,
+    exec_spec,
+    remap_spec,
+)
+
+
+@pytest.mark.parametrize(
+    "binner", [bin_partition_functional, bin_layout_functional],
+    ids=["fused-strided", "remap+exec"],
+)
+def test_layout_functional(benchmark, binner):
+    """One loop's binning wall-clock under each formulation."""
+    sig = shared_signal()
+    plan = shared_plan()
+    perm = plan.permutations[0]
+    out = benchmark(lambda: binner(sig.time, plan.filt, plan.B, perm))
+    assert out.size == plan.B
+
+
+def test_overlap_hides_exec_time():
+    """On the simulated device, pipelining remap/exec across streams beats
+    strict serialization of the same kernels."""
+    B, rounds, streams = 4096, 12, 8
+    dev = KEPLER_K20X
+
+    def makespan(n_streams: int) -> float:
+        sim = GpuSimulation(dev)
+        remap_streams = [sim.stream() for _ in range(n_streams)]
+        exec_stream = sim.stream()
+        for c in range(rounds):
+            rs = remap_streams[c % n_streams]
+            sim.launch(rs, remap_spec(B=B))
+            ev = rs.record_event()
+            sim.launch(exec_stream, exec_spec(B=B), after=(ev,))
+        return sim.run().makespan_s
+
+    serial = makespan(1)
+    overlapped = makespan(streams)
+    print(f"\nremap/exec pipeline: 1 stream {serial*1e6:.1f} us, "
+          f"{streams} streams {overlapped*1e6:.1f} us")
+    assert overlapped < serial
+
+
+def test_print_ablation_rows(benchmark):
+    """Regenerate the abl-layout rows (modeled, paper scale)."""
+    benchmark.pedantic(
+        lambda: print_experiment("abl-layout"), rounds=1, iterations=1
+    )

@@ -1,0 +1,42 @@
+"""Ablation: loop-partition binning (Algorithm 2) vs atomic histogram.
+
+Real wall-clock: the two functional binning formulations (identical
+output; the partition version mirrors the GPU kernel's round structure).
+Modeled rows for the full-transform ablation print at the end.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_experiment, shared_plan, shared_signal
+from repro.gpu.kernels import bin_atomic_functional, bin_partition_functional
+
+
+@pytest.mark.parametrize(
+    "binner", [bin_partition_functional, bin_atomic_functional],
+    ids=["loop-partition", "atomic-histogram"],
+)
+def test_binning_functional(benchmark, binner):
+    """One loop's permutation+filter+fold wall-clock."""
+    sig = shared_signal()
+    plan = shared_plan()
+    perm = plan.permutations[0]
+    out = benchmark(lambda: binner(sig.time, plan.filt, plan.B, perm))
+    assert out.size == plan.B
+
+
+def test_formulations_agree():
+    """The ablation compares equal computations."""
+    sig = shared_signal()
+    plan = shared_plan()
+    perm = plan.permutations[0]
+    a = bin_partition_functional(sig.time, plan.filt, plan.B, perm)
+    b = bin_atomic_functional(sig.time, plan.filt, plan.B, perm)
+    assert np.abs(a - b).max() < 1e-10 * max(1.0, np.abs(a).max())
+
+
+def test_print_ablation_rows(benchmark):
+    """Regenerate the abl-partition rows (modeled, paper scale)."""
+    benchmark.pedantic(
+        lambda: print_experiment("abl-partition"), rounds=1, iterations=1
+    )

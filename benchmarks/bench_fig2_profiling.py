@@ -1,0 +1,50 @@
+"""Figure 2: per-step time distribution of the sparse FFT.
+
+Real wall-clock: the measured CPU breakdown at a feasible size (the same
+instrumentation the Fig-2 harness uses).  Paper-scale modeled rows for both
+sub-figures print at the end.
+"""
+
+import pytest
+
+from conftest import print_experiment
+from repro.analysis import measure_breakdown
+from repro.experiments import paper_kwargs
+
+
+def test_measured_breakdown(benchmark):
+    """Wall-clock the instrumented pipeline (one profiling pass)."""
+    bd = benchmark.pedantic(
+        lambda: measure_breakdown(1 << 18, 64, seed=9, repeats=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert set(bd.seconds) == {
+        "perm_filter", "bucket_fft", "cutoff", "recovery", "estimation",
+    }
+    assert bd.total > 0
+
+
+def test_perm_filter_dominates_at_scale():
+    """Figure 2(a)'s central observation, on the modeled breakdown."""
+    from repro.analysis import modeled_breakdown
+
+    bd = modeled_breakdown(1 << 26, 1000, **paper_kwargs(1000))
+    assert bd.dominant() in ("perm_filter", "recovery")
+    small = modeled_breakdown(1 << 19, 1000, **paper_kwargs(1000))
+    # perm+filter share grows with n.
+    assert bd.shares()["perm_filter"] > small.shares()["perm_filter"]
+
+
+def test_print_fig2a_rows(benchmark):
+    """Regenerate Figure 2(a)'s rows."""
+    benchmark.pedantic(
+        lambda: print_experiment("fig2a"), rounds=1, iterations=1
+    )
+
+
+def test_print_fig2b_rows(benchmark):
+    """Regenerate Figure 2(b)'s rows."""
+    benchmark.pedantic(
+        lambda: print_experiment("fig2b"), rounds=1, iterations=1
+    )

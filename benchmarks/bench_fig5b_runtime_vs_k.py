@@ -1,0 +1,48 @@
+"""Figure 5(b): run time vs sparsity at fixed n.
+
+Real wall-clock: sparse-transform execution at k = 16 and k = 256 with n
+fixed — the measured growth with k is slow, unlike linear-in-k scaling.
+Paper-scale rows (n = 2^27, k = 100..1000) print at the end.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_experiment, shared_plan, shared_signal
+from repro.core import sfft
+
+_N = 1 << 18
+
+
+@pytest.mark.parametrize("k", [16, 64, 256])
+def test_sfft_vs_k(benchmark, k):
+    """Execution time growth as k rises at fixed n."""
+    sig = shared_signal(_N, k)
+    plan = shared_plan(_N, k)
+    result = benchmark(lambda: sfft(sig.time, plan=plan))
+    assert result.k_found == k
+
+
+def test_growth_with_k_is_sublinear():
+    """16x the sparsity should cost much less than 16x the time."""
+    times = {}
+    for k in (16, 256):
+        sig = shared_signal(_N, k)
+        plan = shared_plan(_N, k)
+        sfft(sig.time, plan=plan)  # warm
+        t0 = time.perf_counter()
+        for _ in range(3):
+            sfft(sig.time, plan=plan)
+        times[k] = (time.perf_counter() - t0) / 3
+    ratio = times[256] / times[16]
+    print(f"\nreal k-scaling @2^18: k=16 {times[16]*1e3:.1f} ms, "
+          f"k=256 {times[256]*1e3:.1f} ms (ratio {ratio:.1f}x for 16x k)")
+    assert ratio < 16
+
+
+def test_print_fig5b_rows(benchmark):
+    """Regenerate Figure 5(b)'s rows (paper-scale, modeled)."""
+    benchmark.pedantic(
+        lambda: print_experiment("fig5b"), rounds=1, iterations=1
+    )

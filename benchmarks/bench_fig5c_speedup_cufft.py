@@ -1,0 +1,55 @@
+"""Figure 5(c): cusFFT speedup over cuFFT.
+
+Real wall-clock: the functional cusFFT pipeline (all GPU kernel bodies)
+against the dense FFT at feasible sizes.  Paper-scale speedup rows
+(simulated K20x, n = 2^18..2^27) print at the end; the paper's headline is
+9x (baseline) / 15x (optimized) at n = 2^27.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import REAL_K, REAL_N, print_experiment, shared_signal
+from repro.cufft import CufftPlan
+from repro.cusim import KEPLER_K20X
+from repro.gpu import BASELINE, OPTIMIZED, CusFFT
+
+
+@pytest.fixture(scope="module")
+def transforms():
+    """Prebuilt cusFFT transforms (plan construction excluded from timing)."""
+    out = {}
+    for name, cfg in (("base", BASELINE), ("opt", OPTIMIZED)):
+        t = CusFFT.create(REAL_N, REAL_K, config=cfg)
+        t.plan(seed=5)
+        out[name] = t
+    return out
+
+
+@pytest.mark.parametrize("variant", ["base", "opt"])
+def test_cusfft_functional_execution(benchmark, transforms, variant):
+    """Functional cusFFT pipeline wall-clock (kernel bodies in NumPy)."""
+    sig = shared_signal()
+    run = benchmark(lambda: transforms[variant].execute(sig.time))
+    assert run.result.k_found == REAL_K
+
+
+def test_modeled_speedup_at_2_27():
+    """The modeled headline numbers stay in the paper's band."""
+    k = 1000
+    kw = dict(profile="fast", loops=6, bucket_constant=1.0, select_count=k)
+    n = 1 << 27
+    cufft = CufftPlan(n).estimated_time(KEPLER_K20X)
+    opt = CusFFT.create(n, k, config=OPTIMIZED, **kw).estimated_time()
+    base = CusFFT.create(n, k, config=BASELINE, **kw).estimated_time()
+    print(f"\nspeedup over cuFFT @2^27: baseline {cufft/base:.1f}x "
+          f"(paper ~9x), optimized {cufft/opt:.1f}x (paper ~15x)")
+    assert 6.0 < cufft / base < 12.0
+    assert 10.0 < cufft / opt < 18.0
+
+
+def test_print_fig5c_rows(benchmark):
+    """Regenerate Figure 5(c)'s rows (paper-scale, modeled)."""
+    benchmark.pedantic(
+        lambda: print_experiment("fig5c"), rounds=1, iterations=1
+    )

@@ -1,0 +1,44 @@
+"""Figure 5(d): cusFFT speedup over parallel FFTW.
+
+Real wall-clock: the FFTW stand-in's functional execution (numpy FFT) is
+benchmarked directly.  Paper-scale rows print at the end; the paper's range
+is 0.5x (n = 2^18) to ~29x (n = 2^27).
+"""
+
+import pytest
+
+from conftest import REAL_N, print_experiment, shared_signal
+from repro.cpu import FftwPlan
+from repro.cufft import CufftPlan  # noqa: F401  (symmetry with fig5c)
+from repro.gpu import OPTIMIZED, CusFFT
+
+
+def test_fftw_functional_execution(benchmark):
+    """Dense FFTW-equivalent execution wall-clock."""
+    sig = shared_signal()
+    plan = FftwPlan(REAL_N)
+    out = benchmark(lambda: plan.execute(sig.time))
+    assert out.size == REAL_N
+
+
+def test_modeled_range_matches_paper():
+    """Speedup small at 2^18 (<1) and large at 2^27 (>20x)."""
+    k = 1000
+    kw = dict(profile="fast", loops=6, bucket_constant=1.0, select_count=k)
+    small = FftwPlan(1 << 18).estimated_time() / CusFFT.create(
+        1 << 18, k, config=OPTIMIZED, **kw
+    ).estimated_time()
+    large = FftwPlan(1 << 27).estimated_time() / CusFFT.create(
+        1 << 27, k, config=OPTIMIZED, **kw
+    ).estimated_time()
+    print(f"\nspeedup over FFTW: {small:.2f}x @2^18 (paper 0.5x), "
+          f"{large:.1f}x @2^27 (paper ~29x)")
+    assert small < 1.0
+    assert large > 20.0
+
+
+def test_print_fig5d_rows(benchmark):
+    """Regenerate Figure 5(d)'s rows (paper-scale, modeled)."""
+    benchmark.pedantic(
+        lambda: print_experiment("fig5d"), rounds=1, iterations=1
+    )

@@ -1,0 +1,58 @@
+"""Figure 5(e): cusFFT speedup over PsFFT (the authors' OpenMP CPU sFFT).
+
+Real wall-clock: PsFFT's functional execution (identical algorithm, CPU
+path).  Paper-scale rows print at the end; the paper reports a peak of 6.6x
+with a dip at the largest sizes due to host-device data transfer — the
+reproduced rows include the sampled-input H2D that produces that dip.
+"""
+
+import pytest
+
+from conftest import REAL_K, REAL_N, print_experiment, shared_signal
+from repro.cpu import PsFFT
+from repro.gpu import OPTIMIZED, CusFFT
+
+
+@pytest.fixture(scope="module")
+def psfft():
+    ps = PsFFT.create(REAL_N, REAL_K)
+    ps.plan(seed=5)
+    return ps
+
+
+def test_psfft_functional_execution(benchmark, psfft):
+    """PsFFT functional pipeline wall-clock."""
+    sig = shared_signal()
+    res = benchmark(lambda: psfft.execute(sig.time))
+    assert res.k_found == REAL_K
+
+
+def test_transfer_dip_present():
+    """The transfer-inclusive speedup dips from its peak at the largest
+    size — the paper's 'data transfer offsets the gains' effect.  The
+    transfer charged is the per-call filter upload (see the fig5e
+    experiment docstring)."""
+    k = 1000
+    kw = dict(profile="fast", loops=6, bucket_constant=1.0, select_count=k)
+
+    def speedup(n):
+        ps = PsFFT.create(n, k, **kw).estimated_time()
+        cu = CusFFT.create(
+            n, k, config=OPTIMIZED, h2d="filter", **kw
+        ).estimated_time()
+        return ps / cu
+
+    sweep = {logn: speedup(1 << logn) for logn in range(20, 28)}
+    peak_logn = max(sweep, key=sweep.get)
+    print("\nspeedup over PsFFT:",
+          {f"2^{p}": f"{s:.2f}x" for p, s in sweep.items()})
+    assert peak_logn < 27            # the dip: peak is before the largest n
+    assert sweep[peak_logn] > 4.0    # paper: >4x average, 6.6x peak
+    assert sweep[27] < sweep[peak_logn]
+
+
+def test_print_fig5e_rows(benchmark):
+    """Regenerate Figure 5(e)'s rows (paper-scale, modeled)."""
+    benchmark.pedantic(
+        lambda: print_experiment("fig5e"), rounds=1, iterations=1
+    )

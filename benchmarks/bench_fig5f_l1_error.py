@@ -1,0 +1,58 @@
+"""Figure 5(f): L1 error per large coefficient vs k.
+
+Entirely functional — real numerics, no modeling.  The benchmark times one
+full accuracy trial; the printed rows sweep k exactly as the paper does
+(the paper's n = 2^27 is replaced by n = 2^20; the error level is set by
+the filter tolerance, not n).
+"""
+
+import pytest
+
+from conftest import print_experiment
+from repro.analysis import score_result
+from repro.core import make_plan, sfft
+from repro.experiments import paper_kwargs
+from repro.signals import make_sparse_signal
+
+_N = 1 << 18
+
+
+def test_accuracy_trial(benchmark):
+    """One end-to-end accuracy trial (transform + scoring)."""
+    k = 100
+    sig = make_sparse_signal(_N, k, seed=1)
+    plan = make_plan(_N, k, seed=2, **paper_kwargs(k))
+
+    def trial():
+        return score_result(sfft(sig.time, plan=plan), sig.locations, sig.values)
+
+    report = benchmark(trial)
+    assert report.recall == 1.0
+    assert report.l1_error / _N < 1e-4
+
+
+def test_error_extremely_small():
+    """The paper's qualitative claim: accuracy is preserved.
+
+    k=200 at n=2^18 sits near the regime boundary (k/B ~ 5%), where an
+    occasional bucket collision can drop one coefficient; recall >= 0.99
+    with a tiny per-coefficient error is the expected behaviour there
+    (the paper's sweep at n=2^27 has k/B ~ 0.8%).
+    """
+    k = 200
+    sig = make_sparse_signal(_N, k, seed=3)
+    plan = make_plan(_N, k, seed=4, **paper_kwargs(k))
+    report = score_result(sfft(sig.time, plan=plan), sig.locations, sig.values)
+    print(f"\nL1/coeff (unit scale) = {report.l1_error / _N:.3e}, "
+          f"recall = {report.recall:.4f}")
+    assert report.recall >= 0.99
+    assert report.l1_error / _N < 5e-2
+
+
+def test_print_fig5f_rows(benchmark):
+    """Regenerate Figure 5(f)'s rows (functional sweep over k)."""
+    benchmark.pedantic(
+        lambda: print_experiment("fig5f", n=1 << 18, trials=2),
+        rounds=1,
+        iterations=1,
+    )

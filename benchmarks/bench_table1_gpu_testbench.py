@@ -1,0 +1,62 @@
+"""Table I: the GPU test-bench.
+
+Real wall-clock: micro-benchmarks of the simulator itself (occupancy
+calculation, kernel cost estimation, a full stream-scheduler run) — the
+overheads a user of the simulated device pays.  The table's rows print at
+the end.
+"""
+
+import pytest
+
+from conftest import print_experiment
+from repro.cusim import (
+    KEPLER_K20X,
+    AccessPattern,
+    GlobalAccess,
+    GpuSimulation,
+    KernelSpec,
+    estimate_kernel,
+)
+
+DEV = KEPLER_K20X
+
+_SPEC = KernelSpec(
+    "bench",
+    grid_blocks=1024,
+    threads_per_block=256,
+    flops_per_thread=64.0,
+    accesses=(GlobalAccess(AccessPattern.COALESCED, 1 << 22, 16),),
+)
+
+
+def test_occupancy_calculator(benchmark):
+    """Occupancy calculation cost (called once per kernel estimate)."""
+    occ = benchmark(lambda: DEV.occupancy(256, registers_per_thread=40))
+    assert 0 < occ.fraction <= 1
+
+
+def test_kernel_cost_estimate(benchmark):
+    """Single-launch cost-model evaluation."""
+    t = benchmark(lambda: estimate_kernel(_SPEC, DEV))
+    assert t.total_s > 0
+
+
+def test_scheduler_throughput(benchmark):
+    """Event-driven scheduling of a 64-kernel multi-stream timeline."""
+
+    def run():
+        sim = GpuSimulation(DEV)
+        streams = [sim.stream() for _ in range(8)]
+        for i in range(64):
+            sim.launch(streams[i % 8], _SPEC)
+        return sim.run()
+
+    rep = benchmark(run)
+    assert len(rep.records) == 64
+
+
+def test_print_table1(benchmark):
+    """Regenerate Table I."""
+    benchmark.pedantic(
+        lambda: print_experiment("table1"), rounds=1, iterations=1
+    )

@@ -1,0 +1,32 @@
+"""Table II: the CPU test-bench.
+
+Real wall-clock: the CPU models' evaluation cost (they must be cheap —
+sweeps call them hundreds of times).  The table's rows print at the end.
+"""
+
+import pytest
+
+from conftest import print_experiment
+from repro.cpu import FftwPlan, PsFFT
+
+
+def test_fftw_model_evaluation(benchmark):
+    """Cost of one FFTW time estimate."""
+    t = benchmark(lambda: FftwPlan(1 << 24).estimated_time())
+    assert t > 0
+
+
+def test_psfft_model_evaluation(benchmark):
+    """Cost of one PsFFT step-model evaluation (includes parameter
+    derivation and filter sizing)."""
+    t = benchmark(
+        lambda: PsFFT.create(1 << 24, 1000, profile="fast").estimated_time()
+    )
+    assert t > 0
+
+
+def test_print_table2(benchmark):
+    """Regenerate Table II."""
+    benchmark.pedantic(
+        lambda: print_experiment("table2"), rounds=1, iterations=1
+    )

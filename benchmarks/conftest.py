@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module pairs *real wall-clock measurements* (pytest-benchmark
+timing our functional NumPy implementations at laptop-feasible sizes) with
+the *paper-scale modeled rows* of the corresponding figure/table, printed
+once per module so ``pytest benchmarks/ --benchmark-only`` regenerates every
+artifact end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SfftPlan, make_plan
+from repro.experiments import run_experiment
+from repro.signals import SparseSignal, make_sparse_signal
+
+#: Sizes the functional (real wall-clock) benchmarks run at.
+REAL_N = 1 << 18
+REAL_K = 64
+
+_PLANS: dict[tuple, SfftPlan] = {}
+_SIGNALS: dict[tuple, SparseSignal] = {}
+
+
+def shared_plan(n: int = REAL_N, k: int = REAL_K, **overrides) -> SfftPlan:
+    """Session-cached plan (filter synthesis is the slow part).
+
+    Defaults to the paper's evaluation profile (``fast`` filter, 6 loops)
+    so the measured numbers correspond to the configuration the modeled
+    rows use.
+    """
+    key = (n, k, tuple(sorted(overrides.items())))
+    if key not in _PLANS:
+        overrides.setdefault("profile", "fast")
+        overrides.setdefault("loops", 6)
+        _PLANS[key] = make_plan(n, k, seed=1234, **overrides)
+    return _PLANS[key]
+
+
+def shared_signal(n: int = REAL_N, k: int = REAL_K) -> SparseSignal:
+    """Session-cached sparse test signal."""
+    key = (n, k)
+    if key not in _SIGNALS:
+        _SIGNALS[key] = make_sparse_signal(n, k, seed=99)
+    return _SIGNALS[key]
+
+
+def print_experiment(experiment_id: str, **options) -> None:
+    """Run a registered experiment and print its rows (the paper artifact)."""
+    result = run_experiment(experiment_id, **options)
+    print()
+    print(result.render())
+
+
+@pytest.fixture
+def signal() -> SparseSignal:
+    """The default benchmark signal."""
+    return shared_signal()
+
+
+@pytest.fixture
+def plan() -> SfftPlan:
+    """The default benchmark plan."""
+    return shared_plan()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""GPS code acquisition via the sparse (inverse) FFT.
+
+Paper reference [19] ("Faster GPS via the sparse Fourier transform",
+MobiCom'12) is one of sFFT's flagship applications: GPS acquisition
+correlates the received signal against a local C/A code replica over all
+code phases, classically via ``ifft(fft(rx) * conj(fft(code)))``.  The
+correlation has a *single* dominant spike — a 1-sparse "spectrum" — so a
+sparse transform finds the code phase without computing the full inverse
+FFT.
+
+Because ``ifft(y)[t] = fft(y)[-t mod n] / n``, running the *forward* sparse
+transform on the frequency-domain product recovers the spike at the
+mirrored index; we undo the mirror to report the delay.
+
+Run:  python examples/gps_acquisition.py
+"""
+
+import numpy as np
+
+from repro import sfft
+from repro.signals import make_gps_correlation
+
+
+def sparse_acquire(product: np.ndarray, k: int = 8, seed: int = 0) -> int:
+    """Find the correlation peak's code phase from the spectrum product."""
+    n = product.size
+    result = sfft(product, k, seed=seed)
+    # fft(product)[f] = n * corr[-f mod n]: the strongest recovered
+    # coefficient sits at the mirrored delay.
+    best = result.locations[np.argmax(np.abs(result.values))]
+    return int((-best) % n)
+
+
+def main() -> int:
+    n = 1 << 16
+    true_delay, doppler_bin = 23171, 5
+    print(f"Synthesizing GPS scene: n={n}, code delay={true_delay}, "
+          f"Doppler bin={doppler_bin}, 20 dB SNR, full-length PN code")
+    # Full-length (P-code-style) PN sequence: the correlation is a single
+    # spike.  A short repeating C/A code would alias the delay modulo the
+    # code period — see make_gps_correlation's docstring.
+    product, code, delay = make_gps_correlation(
+        n, true_delay, doppler_bin, snr=20.0, seed=3
+    )
+    assert delay == true_delay
+
+    # Classical dense acquisition for reference.
+    corr = np.fft.ifft(product)
+    dense_delay = int(np.argmax(np.abs(corr)))
+
+    # Sparse acquisition: k=8 tolerates correlation side lobes.
+    sparse_delay = sparse_acquire(product, k=8, seed=4)
+
+    print(f"dense acquisition:  delay = {dense_delay}")
+    print(f"sparse acquisition: delay = {sparse_delay}")
+    assert dense_delay == true_delay, "dense reference failed"
+    assert sparse_delay == true_delay, "sparse acquisition failed"
+
+    peak = np.abs(corr[true_delay])
+    noise = np.median(np.abs(corr))
+    print(f"correlation peak-to-median ratio: {peak / noise:.1f}x")
+    print("Sparse acquisition matched the dense reference.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

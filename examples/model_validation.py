@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validating the performance model: run a real kernel in warp lockstep.
+
+The reproduction's figures come from a cost model, so this example shows
+the receipts: it *executes* the paper's Algorithm-2 kernel (permutation +
+filter + fold) inside the SIMT lockstep interpreter, instruction by
+instruction, warp by warp, and compares
+
+* the functional output against the reference binning (must be identical),
+* the measured global-memory transactions against the analytic declaration
+  the cost model prices (must agree),
+
+then shows what the asynchronous layout transformation changes: the exec
+kernel's reads become perfectly coalesced.
+
+Run:  python examples/model_validation.py
+"""
+
+import numpy as np
+
+from repro.core import bin_loop_partition, make_plan
+from repro.cusim import KEPLER_K20X, estimate_kernel, simt_run
+from repro.gpu.kernels import exec_spec, partition_spec
+from repro.signals import make_sparse_signal
+
+
+def main() -> int:
+    n, k = 1 << 12, 8
+    plan = make_plan(n, k, seed=1)
+    sig = make_sparse_signal(n, k, seed=2)
+    perm = plan.permutations[0]
+    B, rounds, w = plan.B, plan.rounds, plan.filt.width
+    dev = KEPLER_K20X
+    print(f"Algorithm 2 on the SIMT interpreter: n={n}, B={B}, "
+          f"rounds={rounds} ({B} threads, warp lockstep)")
+
+    # --- the fused Algorithm-2 kernel, as the hardware would run it ------
+    def perm_filter_kernel(warp, signal, filt, buckets):
+        acc = np.zeros(warp.tid.size, dtype=np.complex128)
+        for j in range(rounds):
+            off = warp.tid + B * j
+            warp.push_mask(off < w)
+            idx = (off * perm.sigma + perm.tau) % n
+            acc = acc + warp.load(signal, idx) * warp.load(filt, off)
+            warp.pop_mask()
+        warp.store(buckets, warp.tid, acc)
+
+    report, (_, _, buckets) = simt_run(
+        perm_filter_kernel, B, dev,
+        sig.time, plan.filt.time, np.zeros(B, dtype=np.complex128),
+    )
+    ref = bin_loop_partition(sig.time, plan.filt, B, perm)
+    err = np.abs(buckets.data - ref).max()
+    print(f"  functional: max |diff| vs reference = {err:.2e}")
+    assert err < 1e-12 * max(1.0, np.abs(ref).max())
+
+    timing = estimate_kernel(partition_spec(B=B, rounds=rounds), dev)
+    print(f"  transactions: measured {report.transactions}, "
+          f"declared {timing.transactions} "
+          f"({100 * report.transactions / timing.transactions:.1f}%)")
+    print(f"  coalescing efficiency: measured "
+          f"{report.coalescing_efficiency:.3f}, model "
+          f"{timing.coalescing_efficiency:.3f}")
+    assert abs(report.transactions - timing.transactions) < 0.05 * timing.transactions
+
+    # --- the layout-transformed exec kernel: coalesced by construction ---
+    remapped = sig.time[(np.arange(B) * perm.sigma + perm.tau) % n]
+
+    def exec_kernel(warp, a_prime, filt, buckets):
+        v = warp.load(a_prime, warp.tid) * warp.load(filt, warp.tid)
+        warp.store(buckets, warp.tid, v)
+
+    exec_report, _ = simt_run(
+        exec_kernel, B, dev,
+        remapped, plan.filt.time[:B].copy(), np.zeros(B, dtype=np.complex128),
+    )
+    print(f"\nexec kernel after the layout transformation: coalescing "
+          f"{exec_report.coalescing_efficiency:.2f} "
+          f"(vs {report.coalescing_efficiency:.2f} for the fused gather)")
+    assert exec_report.coalescing_efficiency > 0.99
+
+    print("\nModel validated: declared patterns = measured behaviour.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""A tour of the performance tooling: step profiling, kernel timelines,
+variant ablations.
+
+Reproduces in miniature what Sections IV-V of the paper do: profile the
+serial pipeline to find the bottleneck (Figure 2), inspect the GPU kernel
+timeline (nvprof-style), and compare the baseline against each optimization.
+
+Run:  python examples/profiling_tour.py
+"""
+
+from repro import make_sparse_signal
+from repro.analysis import measure_breakdown
+from repro.cusim import render_summary
+from repro.gpu import ATOMIC_HISTOGRAM, BASELINE, OPTIMIZED, CusFFT
+from repro.utils import format_seconds, format_table
+
+
+def main() -> int:
+    n, k = 1 << 18, 64
+
+    # --- Figure 2 in miniature: measured step breakdown -----------------
+    print(f"Measured CPU step breakdown (n=2^18, k={k}):")
+    bd = measure_breakdown(n, k, seed=5, repeats=2)
+    rows = [
+        [name, format_seconds(t), f"{100 * share:.1f}%"]
+        for (name, t), share in zip(
+            bd.seconds.items(), bd.shares().values()
+        )
+    ]
+    print(format_table(["step", "time", "share"], rows))
+    print(f"dominant step: {bd.dominant()}  (the paper's Figure 2 finding)\n")
+
+    # --- GPU kernel timeline --------------------------------------------
+    signal = make_sparse_signal(n, k, seed=6)
+    transform = CusFFT.create(n, k, config=OPTIMIZED)
+    run = transform.execute(signal.time, seed=7)
+    assert set(run.result.locations) == set(signal.locations)
+    print(render_summary(run.report, title="Optimized cusFFT timeline"))
+    print()
+
+    # --- variant comparison ----------------------------------------------
+    print("Modeled end-to-end device time per variant:")
+    rows = []
+    for config in (ATOMIC_HISTOGRAM, BASELINE, OPTIMIZED):
+        t = CusFFT.create(n, k, config=config).estimated_time()
+        rows.append([config.label(), format_seconds(t)])
+    print(format_table(["variant", "modeled time"], rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

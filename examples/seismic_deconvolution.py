@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Sparse-spike seismic deconvolution with the sparse FFT.
+
+The paper's work was funded by Shell and aimed at seismic processing: a
+seismic trace is a sparse *reflectivity* series convolved with a source
+wavelet.  Deconvolving the known wavelet in the frequency domain leaves
+``R(f) = T(f) / W(f)`` whose inverse transform — the reflectivity — is
+sparse in time.  Since ``fft(R)[f] = n * r[-f mod n]``, a *forward* sparse
+transform of the deconvolved spectrum recovers the reflector positions and
+amplitudes directly, in sub-linear time.
+
+Water-level regularization caps the division where the wavelet has no
+energy (a standard deconvolution guard); sFFT's voting absorbs the
+remaining noise.
+
+Run:  python examples/seismic_deconvolution.py
+"""
+
+import numpy as np
+
+from repro import sfft
+from repro.signals import make_seismic_reflectivity
+
+
+def deconvolved_spectrum(trace: np.ndarray, peak_bin: int, water: float = 0.02):
+    """Frequency-domain wavelet deconvolution with a water level."""
+    n = trace.size
+    f = np.fft.fftfreq(n) * n
+    f0 = float(peak_bin)
+    wavelet = (f / f0) ** 2 * np.exp(1.0 - (f / f0) ** 2)
+    level = water * np.abs(wavelet).max()
+    safe = np.where(np.abs(wavelet) > level, wavelet, level)
+    return np.fft.fft(trace) / safe
+
+
+def main() -> int:
+    n, reflectors, peak_bin = 1 << 16, 12, 1 << 10
+    print(f"Synthesizing a seismic trace: n={n}, {reflectors} reflectors, "
+          f"Ricker wavelet peak at bin {peak_bin}, 35 dB SNR")
+    trace, times = make_seismic_reflectivity(
+        n, reflectors, wavelet_peak_bin=peak_bin, snr=35.0, seed=21
+    )
+
+    spectrum = deconvolved_spectrum(trace, peak_bin)
+
+    # The water level leaves a little residual smearing around each spike,
+    # so each reflector appears as a tight cluster of coefficients.
+    # Recover generously, then cluster and keep each cluster's peak.
+    result = sfft(spectrum, 16 * reflectors, seed=22)
+    spike_times = (-result.locations) % n
+    order = np.argsort(spike_times)
+    spike_times = spike_times[order]
+    spike_amps = np.abs(result.values[order]) / n
+
+    clusters: list[tuple[int, float]] = []
+    for t, a in zip(spike_times, spike_amps):
+        if clusters and t - clusters[-1][0] <= 8:
+            if a > clusters[-1][1]:
+                clusters[-1] = (int(t), float(a))
+        else:
+            clusters.append((int(t), float(a)))
+    clusters.sort(key=lambda c: c[1], reverse=True)
+    picked = sorted(t for t, _ in clusters[:reflectors])
+
+    print(f"true reflector times:      {times.tolist()}")
+    print(f"recovered reflector times: {picked}")
+
+    picked_arr = np.asarray(picked)
+    matched = sum(1 for t in times if np.min(np.abs(picked_arr - t)) <= 3)
+    print(f"matched {matched}/{reflectors} reflectors (within 3 samples)")
+    assert matched >= reflectors - 1, "deconvolution missed reflectors"
+
+    amps = np.array(sorted(a for _, a in clusters[:reflectors]))
+    print(f"recovered spike amplitudes in [{amps.min():.2f}, {amps.max():.2f}] "
+          "(attenuated by the water-level band limit; relative pattern "
+          "follows the true [0.5, 1.0] reflectivities)")
+    print("Sparse deconvolution succeeded.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` builds metadata via PEP 517, which requires the
+``wheel`` package; fully offline environments may lack it.  This shim lets
+``python setup.py develop`` install the package editably without wheel.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Accuracy metrics and per-step profiling breakdowns."""
+
+from .accuracy import (
+    AccuracyReport,
+    l1_error_per_coefficient,
+    score_result,
+    support_metrics,
+)
+from .profiling import FIG2_GROUPS, StepBreakdown, measure_breakdown, modeled_breakdown
+
+__all__ = [
+    "AccuracyReport",
+    "l1_error_per_coefficient",
+    "score_result",
+    "support_metrics",
+    "FIG2_GROUPS",
+    "StepBreakdown",
+    "measure_breakdown",
+    "modeled_breakdown",
+]

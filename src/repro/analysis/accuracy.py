@@ -1,0 +1,94 @@
+"""Accuracy metrics (paper Section VI, Figure 5(f)).
+
+The paper validates cusFFT against FFTW with the per-coefficient L1 error
+
+    ``(1/k) * sum_i |xhat_i - yhat_i|``
+
+over the reported support, plus the implicit support check (the right
+locations must be found at all).  These metrics compare any sparse result
+against any dense reference, so the same code scores cusFFT, PsFFT, and the
+core CPU transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.sfft import SparseFFTResult
+from ..errors import ParameterError
+
+__all__ = ["AccuracyReport", "l1_error_per_coefficient", "support_metrics", "score_result"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Support and value accuracy of one sparse transform output."""
+
+    k_true: int
+    k_found: int
+    true_positives: int
+    precision: float
+    recall: float
+    l1_error: float           # per-coefficient, Figure 5(f)'s metric
+    max_relative_error: float # worst value error among true positives
+
+
+def l1_error_per_coefficient(
+    sparse_spectrum: np.ndarray, reference_spectrum: np.ndarray, k: int
+) -> float:
+    """Paper's L1 metric: total absolute error / k over the full spectrum."""
+    a = np.asarray(sparse_spectrum)
+    b = np.asarray(reference_spectrum)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ParameterError("spectra must be equal-length 1-D arrays")
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    return float(np.abs(a - b).sum() / k)
+
+
+def support_metrics(
+    found: np.ndarray, true: np.ndarray
+) -> tuple[int, float, float]:
+    """``(true_positives, precision, recall)`` of a recovered support set."""
+    f = set(np.asarray(found, dtype=np.int64).tolist())
+    t = set(np.asarray(true, dtype=np.int64).tolist())
+    tp = len(f & t)
+    precision = tp / len(f) if f else 1.0 if not t else 0.0
+    recall = tp / len(t) if t else 1.0
+    return tp, precision, recall
+
+
+def score_result(
+    result: SparseFFTResult,
+    true_locations: np.ndarray,
+    true_values: np.ndarray,
+) -> AccuracyReport:
+    """Score a transform output against exact sparse ground truth."""
+    locs = np.asarray(true_locations, dtype=np.int64)
+    vals = np.asarray(true_values, dtype=np.complex128)
+    if locs.shape != vals.shape:
+        raise ParameterError("true locations/values must align")
+
+    tp, precision, recall = support_metrics(result.locations, locs)
+
+    reference = np.zeros(result.n, dtype=np.complex128)
+    reference[locs] = vals
+    l1 = l1_error_per_coefficient(result.to_dense(), reference, max(1, locs.size))
+
+    found = result.as_dict()
+    rel_errors = [
+        abs(found[int(f)] - v) / abs(v)
+        for f, v in zip(locs, vals)
+        if int(f) in found and abs(v) > 0
+    ]
+    return AccuracyReport(
+        k_true=locs.size,
+        k_found=result.k_found,
+        true_positives=tp,
+        precision=precision,
+        recall=recall,
+        l1_error=l1,
+        max_relative_error=max(rel_errors) if rel_errors else float("inf"),
+    )

@@ -1,0 +1,62 @@
+"""The sparse FFT core: parameters, plans, and the six-step pipeline."""
+
+from .binning import bin_loop_partition, bin_serial, bin_vectorized
+from .comb import comb_approved_residues, comb_spectrum
+from .cutoff import cutoff, noise_floor_threshold, select_threshold, select_topk
+from .dense import dense_fft, dense_topk, reconstruct_time
+from .estimation import componentwise_median, estimate_values, loop_estimates
+from .exact import ExactSfftStats, sfft_exact
+from .parameters import PROFILES, SfftParameters, derive_parameters
+from .permutation import (
+    Permutation,
+    permute_dense,
+    permuted_indices,
+    random_permutation,
+)
+from .plan import SfftPlan, load_plan, make_plan, save_plan
+from .recovery import VoteAccumulator, candidate_frequencies, recover_locations
+from .sfft import STEP_NAMES, SparseFFTResult, sfft
+from .subsampled import bucket_fft, subsample_spectrum
+from .variants import isfft, rsfft, sfft_batch
+
+__all__ = [
+    "bin_loop_partition",
+    "comb_approved_residues",
+    "comb_spectrum",
+    "bin_serial",
+    "bin_vectorized",
+    "cutoff",
+    "noise_floor_threshold",
+    "select_threshold",
+    "select_topk",
+    "dense_fft",
+    "dense_topk",
+    "reconstruct_time",
+    "componentwise_median",
+    "ExactSfftStats",
+    "sfft_exact",
+    "estimate_values",
+    "loop_estimates",
+    "PROFILES",
+    "SfftParameters",
+    "derive_parameters",
+    "Permutation",
+    "permute_dense",
+    "permuted_indices",
+    "random_permutation",
+    "SfftPlan",
+    "load_plan",
+    "make_plan",
+    "save_plan",
+    "VoteAccumulator",
+    "candidate_frequencies",
+    "recover_locations",
+    "STEP_NAMES",
+    "SparseFFTResult",
+    "sfft",
+    "bucket_fft",
+    "subsample_spectrum",
+    "isfft",
+    "rsfft",
+    "sfft_batch",
+]

@@ -1,0 +1,92 @@
+"""Magnitude reconstruction — paper step 6 / GPU Algorithm 5.
+
+For a recovered frequency ``f`` and loop ``r`` with permutation
+``(sigma_r, tau_r)``:
+
+* its permuted position is ``p = sigma_r * f mod n``;
+* it hashed to the *nearest* bucket ``m = round(p / (n/B)) mod B`` with a
+  signed offset ``o = p - m*(n/B)`` (``|o| <= n/(2B)``, inside the filter's
+  flat passband by design);
+* the frequency-domain bucket value satisfies
+  ``Z_r[m] ≈ (1/n) * x_hat[f] * exp(2j*pi*tau_r*f/n) * G_hat[-o]``,
+
+so each loop yields the unbiased estimate
+
+    ``est_r = n * Z_r[m] / G_hat[(-o) mod n] * exp(-2j*pi*tau_r*f/n)``.
+
+The final value is the coordinate-wise median (real and imaginary parts
+separately — exactly the paper's step 6) over the ``L`` loops, which rejects
+the occasional loop where ``f`` collided with another coefficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..filters.base import FlatFilter
+from .permutation import Permutation
+
+__all__ = ["loop_estimates", "estimate_values", "componentwise_median"]
+
+
+def loop_estimates(
+    frequencies: np.ndarray,
+    bucket_rows: np.ndarray,
+    permutations: list[Permutation],
+    filt: FlatFilter,
+    B: int,
+) -> np.ndarray:
+    """Per-loop estimates, shape ``(len(frequencies), L)``.
+
+    ``bucket_rows`` is the ``(L, B)`` array of frequency-domain buckets (the
+    batched FFT output).  Vectorized over both hits and loops — the direct
+    translation of Algorithm 5's per-``(tid, j)`` body.
+    """
+    freqs = np.asarray(frequencies, dtype=np.int64)
+    rows = np.asarray(bucket_rows)
+    if rows.ndim != 2 or rows.shape[1] != B:
+        raise ParameterError(f"bucket_rows must be (L, B), got {rows.shape}")
+    L = rows.shape[0]
+    if len(permutations) != L:
+        raise ParameterError(f"{len(permutations)} permutations for L={L} rows")
+    n = filt.n
+    n_div_b = n // B
+    if freqs.size == 0:
+        return np.empty((0, L), dtype=np.complex128)
+    if np.any((freqs < 0) | (freqs >= n)):
+        raise ParameterError("frequencies out of range")
+
+    sigmas = np.array([p.sigma for p in permutations], dtype=np.int64)
+    taus = np.array([p.tau for p in permutations], dtype=np.float64)
+
+    # permuted position per (hit, loop); int64 is safe: f, sigma < n <= 2^31.
+    p = (freqs[:, None] * sigmas[None, :]) % n
+    hashed = ((p + n_div_b // 2) // n_div_b) % B
+    dist = p - ((p + n_div_b // 2) // n_div_b) * n_div_b  # signed offset o
+
+    z = rows[np.arange(L)[None, :], hashed]
+    g = filt.freq[(-dist) % n]
+    phase = np.exp(-2j * np.pi * taus[None, :] * freqs[:, None].astype(np.float64) / n)
+    return n * z / g * phase
+
+
+def componentwise_median(estimates: np.ndarray) -> np.ndarray:
+    """Median of real and imaginary parts separately along the last axis."""
+    est = np.asarray(estimates)
+    if est.size == 0:
+        return np.empty(est.shape[:-1], dtype=np.complex128)
+    return np.median(est.real, axis=-1) + 1j * np.median(est.imag, axis=-1)
+
+
+def estimate_values(
+    frequencies: np.ndarray,
+    bucket_rows: np.ndarray,
+    permutations: list[Permutation],
+    filt: FlatFilter,
+    B: int,
+) -> np.ndarray:
+    """Final coefficient estimates for ``frequencies`` (median over loops)."""
+    return componentwise_median(
+        loop_estimates(frequencies, bucket_rows, permutations, filt, B)
+    )

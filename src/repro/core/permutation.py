@@ -1,0 +1,94 @@
+"""Random spectrum permutation (paper Section III step 1, Definition 1).
+
+Reading the signal at stride ``sigma`` with offset ``tau`` —
+``y[i] = x[(sigma*i + tau) % n]`` — relabels the spectrum: the coefficient at
+frequency ``f`` moves to ``(sigma*f) % n`` and picks up the phase
+``exp(2j*pi*tau*f/n)``.  A random invertible ``sigma`` therefore scatters
+adjacent spectral coefficients far apart, so each lands in its own bucket.
+
+This module provides the closed-form *index mapping* of the paper's Figure 3
+(the parallelizable form of the serial ``index = (index + step) % n``
+recurrence) and a dense reference permutation used by tests to check
+Definition 1 numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..utils.modmath import gcd, mod_inverse, mod_mult_range, random_invertible
+from ..utils.rng import RngLike, ensure_rng
+
+__all__ = ["Permutation", "random_permutation", "permuted_indices", "permute_dense"]
+
+
+@dataclass(frozen=True)
+class Permutation:
+    """One loop's permutation parameters ``(sigma, sigma_inv, tau)``.
+
+    ``sigma`` is the time-domain stride (equal to the frequency-domain
+    dilation), ``sigma_inv`` its inverse mod ``n`` (used by location recovery
+    to map permuted positions back), and ``tau`` the time offset (a linear
+    phase in frequency, undone during estimation).
+    """
+
+    n: int
+    sigma: int
+    sigma_inv: int
+    tau: int
+
+    def __post_init__(self) -> None:
+        if gcd(self.sigma, self.n) != 1:
+            raise ParameterError(f"sigma={self.sigma} not invertible mod n={self.n}")
+        if (self.sigma * self.sigma_inv) % self.n != 1:
+            raise ParameterError("sigma_inv is not the inverse of sigma")
+        if not 0 <= self.tau < self.n:
+            raise ParameterError(f"tau={self.tau} out of range [0, {self.n})")
+
+    def source_frequency(self, permuted: np.ndarray) -> np.ndarray:
+        """Map permuted spectral positions back to original frequencies."""
+        p = np.asarray(permuted, dtype=np.int64)
+        return (p * self.sigma_inv) % self.n
+
+    def permuted_frequency(self, original: np.ndarray) -> np.ndarray:
+        """Map original frequencies to their permuted spectral positions."""
+        f = np.asarray(original, dtype=np.int64)
+        return (f * self.sigma) % self.n
+
+    def phase_correction(self, frequencies: np.ndarray) -> np.ndarray:
+        """``exp(-2j*pi*tau*f/n)`` — undoes the permutation's phase twist."""
+        f = np.asarray(frequencies, dtype=np.float64)
+        return np.exp(-2j * np.pi * self.tau * f / self.n)
+
+
+def random_permutation(n: int, rng: RngLike = None) -> Permutation:
+    """Draw a uniformly random spectral permutation for size ``n``."""
+    gen = ensure_rng(rng)
+    sigma = random_invertible(n, gen)
+    tau = int(gen.integers(0, n))
+    return Permutation(n=n, sigma=sigma, sigma_inv=mod_inverse(sigma, n), tau=tau)
+
+
+def permuted_indices(perm: Permutation, count: int) -> np.ndarray:
+    """Signal indices touched by the first ``count`` filter taps.
+
+    This is the index-mapped (Figure 3) form: ``(i*sigma + tau) % n`` as a
+    closed form on the loop iterator — each entry independent, hence
+    parallelizable — rather than the serial recurrence of Algorithm 1.
+    """
+    return mod_mult_range(perm.tau, count, perm.sigma, perm.n)
+
+
+def permute_dense(x: np.ndarray, perm: Permutation) -> np.ndarray:
+    """Full-length permuted signal ``y[i] = x[(sigma*i + tau) % n]``.
+
+    O(n) — reference/diagnostic only; the transform itself never materializes
+    this (it reads just ``w`` permuted samples through the filter).
+    """
+    x = np.asarray(x)
+    if x.size != perm.n:
+        raise ParameterError(f"signal length {x.size} != permutation n={perm.n}")
+    return x[permuted_indices(perm, perm.n)]

@@ -1,0 +1,120 @@
+"""Location recovery — reverse the hash, vote across loops (paper step 5).
+
+Each selected bucket ``J`` of a loop covers the permuted spectral positions
+within half a bucket width of its centre, ``p in [ceil((J-0.5)*n/B),
+ceil((J+0.5)*n/B))``.  Undoing the permutation (multiply by ``sigma^{-1}``)
+turns those into candidate *original* frequencies; a frequency that is truly
+large falls in a selected bucket of (almost) every loop, while noise
+candidates repeat rarely.  Keeping candidates with at least
+``vote_threshold`` votes across the ``L`` loops is the paper's
+``I' = { i : s_i > L/2 }``.
+
+The GPU kernel (Algorithm 4) does exactly this with one thread per selected
+bucket and ``atomicAdd`` on a length-``n`` score array; here the votes are a
+vectorized ``np.add.at`` — the same scatter-add, minus the hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from .permutation import Permutation
+
+__all__ = ["candidate_frequencies", "VoteAccumulator", "recover_locations"]
+
+
+def candidate_frequencies(
+    selected_buckets: np.ndarray, perm: Permutation, B: int
+) -> np.ndarray:
+    """Original-domain candidate frequencies for the selected buckets.
+
+    Returns a flat int64 array of ``len(selected) * (n//B)`` candidates
+    (duplicates possible when regions abut).  Mirrors Algorithm 4's
+    ``low``/``high`` region and ``loc = (low + j) * a % n`` walk, in closed
+    form.
+    """
+    n = perm.n
+    if B < 1 or n % B != 0:
+        raise ParameterError(f"B={B} must divide n={n}")
+    n_div_b = n // B
+    J = np.asarray(selected_buckets, dtype=np.int64)
+    if J.ndim != 1:
+        raise ParameterError(f"selected buckets must be 1-D, got shape {J.shape}")
+    if J.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any((J < 0) | (J >= B)):
+        raise ParameterError("bucket indices out of range")
+    # ceil((J - 0.5) * n/B) == J*n_div_b - n_div_b//2 in exact integer
+    # arithmetic (n_div_b is a power of two), avoiding float rounding at big n.
+    low = J * n_div_b - n_div_b // 2
+    offsets = np.arange(n_div_b, dtype=np.int64)
+    permuted = (low[:, None] + offsets[None, :]) % n
+    return ((permuted * perm.sigma_inv) % n).ravel()
+
+
+class VoteAccumulator:
+    """Per-transform vote scores over the ``n`` frequencies.
+
+    A dense ``int16`` score array — the direct analog of the GPU kernel's
+    ``score[n]`` buffer (Algorithm 4).  ``int16`` suffices because scores
+    are bounded by the loop count.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ParameterError(f"n must be positive, got {n}")
+        self.n = int(n)
+        self.scores = np.zeros(self.n, dtype=np.int16)
+
+    def add_loop_votes(self, candidates: np.ndarray) -> None:
+        """Add one loop's candidates (each distinct frequency votes once).
+
+        Within a loop the same frequency can appear from two adjacent
+        selected buckets' overlapping edges; deduplicate so a loop
+        contributes at most one vote per frequency, keeping the
+        across-loop vote count meaningful.
+        """
+        if candidates.size == 0:
+            return
+        uniq = np.unique(candidates)
+        self.scores[uniq] += 1
+
+    def hits(self, threshold: int) -> np.ndarray:
+        """Frequencies with at least ``threshold`` votes, ascending."""
+        if threshold < 1:
+            raise ParameterError(f"threshold must be >= 1, got {threshold}")
+        return np.flatnonzero(self.scores >= threshold).astype(np.int64)
+
+
+def recover_locations(
+    selected_per_loop: list[np.ndarray],
+    permutations: list[Permutation],
+    B: int,
+    vote_threshold: int,
+    *,
+    residue_filter: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run voting over all loops; return ``(hit_frequencies, their_scores)``.
+
+    ``residue_filter`` is the optional sFFT-2.0 Comb screen (see
+    :mod:`repro.core.comb`): a boolean mask of length ``W`` — candidates
+    whose residue ``f mod W`` is not approved never enter the vote, cutting
+    the scatter-add work to the approved classes.
+    """
+    if len(selected_per_loop) != len(permutations):
+        raise ParameterError("one selected-bucket set per permutation required")
+    if not permutations:
+        raise ParameterError("at least one loop is required")
+    if residue_filter is not None:
+        residue_filter = np.asarray(residue_filter, dtype=bool)
+        if residue_filter.ndim != 1 or residue_filter.size < 1:
+            raise ParameterError("residue_filter must be a 1-D boolean mask")
+    acc = VoteAccumulator(permutations[0].n)
+    for sel, perm in zip(selected_per_loop, permutations):
+        cands = candidate_frequencies(sel, perm, B)
+        if residue_filter is not None and cands.size:
+            cands = cands[residue_filter[cands % residue_filter.size]]
+        acc.add_loop_votes(cands)
+    hits = acc.hits(vote_threshold)
+    return hits, acc.scores[hits].astype(np.int64)

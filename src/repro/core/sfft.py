@@ -1,0 +1,246 @@
+"""The sparse FFT driver — paper Section III end-to-end (CPU reference).
+
+This is the orchestrator that strings the six steps together:
+
+1-2. permute + filter + fold into buckets  (:mod:`~repro.core.binning`)
+3.   batched ``B``-point FFT               (:mod:`~repro.core.subsampled`)
+4.   cutoff                                (:mod:`~repro.core.cutoff`)
+5.   reverse hash + voting                 (:mod:`~repro.core.recovery`)
+6.   median magnitude reconstruction       (:mod:`~repro.core.estimation`)
+
+It doubles as the profiling harness behind Figure 2: with ``profile=True``
+it wall-clocks each step, which is how the paper identified perm+filter as
+the dominant cost.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParameterError, RecoveryError
+from ..utils.rng import RngLike
+from ..utils.validation import as_complex_signal
+from .binning import bin_loop_partition, bin_serial, bin_vectorized
+from .comb import comb_approved_residues
+from .cutoff import cutoff
+from .estimation import estimate_values
+from .plan import SfftPlan, make_plan
+from .recovery import recover_locations
+from .subsampled import bucket_fft
+
+__all__ = ["SparseFFTResult", "sfft", "STEP_NAMES"]
+
+STEP_NAMES = ("perm_filter", "bucket_fft", "cutoff", "recovery", "estimation")
+
+_BINNERS = {
+    "serial": bin_serial,
+    "vectorized": bin_vectorized,
+    "loop_partition": bin_loop_partition,
+}
+
+
+@dataclass(frozen=True)
+class SparseFFTResult:
+    """Sparse transform output: the recovered ``(location, value)`` pairs.
+
+    Attributes
+    ----------
+    n:
+        Transform size the locations index into.
+    locations:
+        Recovered frequencies, ascending ``int64``.
+    values:
+        Complex coefficient estimates aligned with ``locations``
+        (``numpy.fft.fft`` scale).
+    votes:
+        Location-loop vote count per recovered frequency.
+    step_times:
+        Wall-clock seconds per pipeline step when profiling was requested,
+        else ``None``.
+    """
+
+    n: int
+    locations: np.ndarray
+    values: np.ndarray
+    votes: np.ndarray
+    step_times: dict[str, float] | None = field(default=None, compare=False)
+
+    @property
+    def k_found(self) -> int:
+        """Number of recovered coefficients."""
+        return self.locations.size
+
+    def to_dense(self) -> np.ndarray:
+        """Dense length-``n`` spectrum with the recovered coefficients."""
+        spec = np.zeros(self.n, dtype=np.complex128)
+        spec[self.locations] = self.values
+        return spec
+
+    def top(self, k: int) -> "SparseFFTResult":
+        """Restrict to the ``k`` largest-magnitude coefficients."""
+        if k >= self.k_found:
+            return self
+        order = np.argpartition(np.abs(self.values), -k)[-k:]
+        order = order[np.argsort(self.locations[order])]
+        return SparseFFTResult(
+            n=self.n,
+            locations=self.locations[order],
+            values=self.values[order],
+            votes=self.votes[order],
+            step_times=self.step_times,
+        )
+
+    def as_dict(self) -> dict[int, complex]:
+        """``{frequency: value}`` mapping (convenient for assertions)."""
+        return {int(f): complex(v) for f, v in zip(self.locations, self.values)}
+
+
+def sfft(
+    x,
+    k: int | None = None,
+    *,
+    plan: SfftPlan | None = None,
+    seed: RngLike = None,
+    binning: str = "vectorized",
+    cutoff_method: str = "topk",
+    comb_width: int | None = None,
+    comb_loops: int = 3,
+    trim_to_k: bool = True,
+    strict: bool = False,
+    profile: bool = False,
+    verify: bool = False,
+    **plan_overrides,
+) -> SparseFFTResult:
+    """Compute the sparse FFT of ``x``.
+
+    Parameters
+    ----------
+    x:
+        Length-``n`` signal (``n`` a power of two); real inputs are widened
+        to complex.
+    k:
+        Target sparsity.  Optional when ``plan`` is given.
+    plan:
+        A reusable :class:`~repro.core.plan.SfftPlan`; built on the fly
+        (with ``seed`` / ``plan_overrides``) when omitted.
+    binning:
+        ``"vectorized"`` (default), ``"loop_partition"`` (mirrors the GPU
+        kernel), or ``"serial"`` (Algorithm 1 verbatim; slow, tests only).
+    cutoff_method:
+        ``"topk"`` (baseline sort&select) or ``"threshold"`` (fast
+        k-selection).
+    comb_width:
+        Enable the sFFT-2.0 Comb pre-filter with ``W = comb_width`` residue
+        classes (a power of two dividing ``n``): ``comb_loops`` cheap
+        aliasing passes screen the spectrum and location recovery only
+        votes for approved residues.  ``None`` (default) disables it.
+    trim_to_k:
+        Keep only the ``k`` largest recovered coefficients (the paper
+        reports exactly ``k``).
+    strict:
+        Raise :class:`~repro.errors.RecoveryError` if fewer than ``k``
+        coefficients survive voting.
+    profile:
+        Record per-step wall-clock times in the result.
+    verify:
+        Debugging aid: additionally compute the dense FFT and raise
+        :class:`~repro.errors.RecoveryError` unless the recovered support
+        matches its top-``k`` (costs ``O(n log n)`` — development only).
+
+    Returns
+    -------
+    SparseFFTResult
+    """
+    if binning not in _BINNERS:
+        raise ParameterError(
+            f"unknown binning {binning!r}; choose from {sorted(_BINNERS)}"
+        )
+    binner = _BINNERS[binning]
+
+    if plan is None:
+        if k is None:
+            raise ParameterError("either k or a plan must be provided")
+        x = as_complex_signal(x)
+        plan = make_plan(x.size, k, seed=seed, **plan_overrides)
+    else:
+        x = as_complex_signal(x, plan.n)
+        if k is None:
+            k = plan.k
+    params = plan.params
+    B, L = params.B, params.loops
+
+    times: dict[str, float] = {name: 0.0 for name in STEP_NAMES}
+
+    def clock() -> float:
+        return _time.perf_counter() if profile else 0.0
+
+    # Optional sFFT-2.0 Comb screen (counted with recovery in profiles).
+    residue_filter = None
+    if comb_width is not None:
+        residue_filter = comb_approved_residues(
+            x, comb_width, params.k, loops=comb_loops, seed=seed
+        )
+
+    # Steps 1-2: permutation + filter + fold, one row per loop.
+    t0 = clock()
+    raw = np.empty((L, B), dtype=np.complex128)
+    for r, perm in enumerate(plan.permutations):
+        raw[r] = binner(x, plan.filt, B, perm)
+    times["perm_filter"] = clock() - t0
+
+    # Step 3: batched B-point FFT.
+    t0 = clock()
+    rows = bucket_fft(raw)
+    times["bucket_fft"] = clock() - t0
+
+    # Step 4: cutoff — only the voting loops need it (the reference
+    # implementation's location/estimation split).
+    t0 = clock()
+    v_loops = params.voting_loops
+    selected = [
+        cutoff(np.abs(rows[r]), params.select_count, method=cutoff_method)
+        for r in range(v_loops)
+    ]
+    times["cutoff"] = clock() - t0
+
+    # Step 5: reverse hash + voting over the location loops.
+    t0 = clock()
+    hits, votes = recover_locations(
+        selected, list(plan.permutations[:v_loops]), B, params.vote_threshold,
+        residue_filter=residue_filter,
+    )
+    times["recovery"] = clock() - t0
+
+    if strict and hits.size < params.k:
+        raise RecoveryError(
+            f"recovered only {hits.size} of k={params.k} coefficients"
+        )
+
+    # Step 6: magnitude reconstruction.
+    t0 = clock()
+    values = estimate_values(hits, rows, list(plan.permutations), plan.filt, B)
+    times["estimation"] = clock() - t0
+
+    result = SparseFFTResult(
+        n=params.n,
+        locations=hits,
+        values=values,
+        votes=votes,
+        step_times=times if profile else None,
+    )
+    if trim_to_k:
+        result = result.top(params.k)
+    if verify:
+        dense = np.fft.fft(x)
+        top = np.argpartition(np.abs(dense), -params.k)[-params.k :]
+        want = set(int(f) for f in top)
+        got = set(int(f) for f in result.locations)
+        if got != want:
+            raise RecoveryError(
+                f"verification failed: sparse support {sorted(got)[:8]}... "
+                f"!= dense top-k {sorted(want)[:8]}..."
+            )
+    return result

@@ -1,0 +1,124 @@
+"""Transform variants built on the core driver: inverse, real-input, batch.
+
+These are the convenience surface a downstream user expects from an FFT
+library, expressed through the forward sparse transform:
+
+* **inverse** — ``ifft(x)[t] = conj(fft(conj(x)))[t] / n``, so a sparse
+  inverse costs exactly one forward sparse transform;
+* **real-input** — a real signal's spectrum is conjugate-symmetric,
+  ``xhat[n-f] = conj(xhat[f])``; the recovered coefficients are symmetrized
+  (pairing mirror frequencies and averaging) which both halves the noise on
+  each estimate and guarantees an exactly-real reconstruction;
+* **batch** — many signals under one plan (plan reuse is where the
+  sub-linear asymptotics pay off).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..utils.rng import RngLike
+from ..utils.validation import as_complex_signal
+from .plan import SfftPlan, make_plan
+from .sfft import SparseFFTResult, sfft
+
+__all__ = ["isfft", "rsfft", "sfft_batch"]
+
+
+def isfft(x, k: int | None = None, **kwargs) -> SparseFFTResult:
+    """Sparse *inverse* DFT: the k significant entries of ``numpy.fft.ifft(x)``.
+
+    Accepts the same arguments as :func:`~repro.core.sfft.sfft`.  The
+    returned ``locations`` index time samples and ``values`` are on the
+    ``ifft`` scale (including the ``1/n`` factor).
+    """
+    x = as_complex_signal(x)
+    res = sfft(np.conj(x), k, **kwargs)
+    return SparseFFTResult(
+        n=res.n,
+        locations=res.locations,
+        values=np.conj(res.values) / res.n,
+        votes=res.votes,
+        step_times=res.step_times,
+    )
+
+
+def rsfft(x, k: int | None = None, **kwargs) -> SparseFFTResult:
+    """Sparse FFT of a *real* signal with conjugate symmetry enforced.
+
+    ``k`` counts total coefficients (mirror pairs included, as a dense FFT
+    would report them).  Mirror pairs ``(f, n-f)`` are symmetrized:
+    ``v[f] <- (v[f] + conj(v[n-f])) / 2``; a recovered frequency whose
+    mirror was missed donates its conjugate, so the output support is
+    always symmetric and ``ifft`` of the dense form is exactly real.
+    """
+    arr = np.asarray(x)
+    if np.iscomplexobj(arr) and np.abs(arr.imag).max() > 0:
+        raise ParameterError("rsfft expects a real signal")
+    res = sfft(arr.real, k, **kwargs)
+    n = res.n
+
+    found = res.as_dict()
+    votes = {int(f): int(v) for f, v in zip(res.locations, res.votes)}
+    sym: dict[int, complex] = {}
+    for f, v in found.items():
+        mirror = (-f) % n
+        if f in sym:
+            continue
+        if mirror == f:  # DC or Nyquist: must be real
+            sym[f] = complex(v.real, 0.0)
+        elif mirror in found:
+            avg = (v + np.conj(found[mirror])) / 2.0
+            sym[f] = complex(avg)
+            sym[mirror] = complex(np.conj(avg))
+        else:
+            sym[f] = complex(v)
+            sym[mirror] = complex(np.conj(v))
+
+    locs = np.array(sorted(sym), dtype=np.int64)
+    vals = np.array([sym[int(f)] for f in locs], dtype=np.complex128)
+    vts = np.array([votes.get(int(f), votes.get(int((-f) % n), 0)) for f in locs])
+    return SparseFFTResult(
+        n=n, locations=locs, values=vals, votes=vts, step_times=res.step_times
+    )
+
+
+def sfft_batch(
+    signals,
+    k: int | None = None,
+    *,
+    plan: SfftPlan | None = None,
+    seed: RngLike = None,
+    **kwargs,
+) -> list[SparseFFTResult]:
+    """Transform a batch of equal-length signals under one shared plan.
+
+    ``signals`` is a ``(batch, n)`` array or a sequence of length-``n``
+    arrays.  The plan (filter + permutation schedule) is constructed once;
+    each signal then pays only the sub-linear execution cost.
+    """
+    if isinstance(signals, np.ndarray):
+        rows = [as_complex_signal(s) for s in np.atleast_2d(signals)]
+    else:
+        rows = [as_complex_signal(s) for s in signals]
+    if not rows:
+        raise ParameterError("batch must contain at least one signal")
+    n = rows[0].size
+    for r in rows:
+        if r.size != n:
+            raise ParameterError("all batch signals must share one length")
+    if plan is None:
+        if k is None:
+            raise ParameterError("either k or a plan must be provided")
+        plan = make_plan(n, k, seed=seed, **{
+            key: val for key, val in kwargs.items()
+            if key not in ("binning", "cutoff_method", "comb_width",
+                           "comb_loops", "trim_to_k", "strict", "profile")
+        })
+    exec_kwargs = {
+        key: val for key, val in kwargs.items()
+        if key in ("binning", "cutoff_method", "comb_width", "comb_loops",
+                   "trim_to_k", "strict", "profile")
+    }
+    return [sfft(r, plan=plan, seed=seed, **exec_kwargs) for r in rows]

@@ -1,0 +1,15 @@
+"""Simulated multicore CPU comparators: FFTW and PsFFT (Table II machine)."""
+
+from .cpuspec import CPU_DEVICES, SANDY_BRIDGE_E5_2640, XEON_PHI_5110P, CpuSpec
+from .fftw import FftwPlan
+from .psfft import PsFFT, PsfftStepTimes
+
+__all__ = [
+    "CPU_DEVICES",
+    "SANDY_BRIDGE_E5_2640",
+    "XEON_PHI_5110P",
+    "CpuSpec",
+    "FftwPlan",
+    "PsFFT",
+    "PsfftStepTimes",
+]

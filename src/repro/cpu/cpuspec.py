@@ -1,0 +1,103 @@
+"""Simulated multicore CPU model (the paper's Table II test-bench).
+
+The CPU comparators (parallel FFTW and the authors' OpenMP PsFFT) ran on a
+six-core Intel Sandy Bridge Xeon E5-2640.  As with the GPU, the machine is
+an explicit model: published peak rates plus achievable-fraction derates.
+Random-access throughput follows the same Little's-law shape as the GPU
+model — ``cores x mlp`` outstanding misses over the DRAM latency — which is
+what prices PsFFT's strided signal gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuSpec", "SANDY_BRIDGE_E5_2640", "XEON_PHI_5110P", "CPU_DEVICES"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a simulated multicore CPU."""
+
+    name: str
+    architecture: str
+    cores: int
+    clock_hz: float
+    l1d_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    dram_bytes: int
+    peak_bandwidth: float            # bytes/s
+    achievable_bandwidth_fraction: float
+    dp_flops: float                  # peak double precision, all cores
+    flop_efficiency: float           # fraction tuned code (FFTW) achieves
+    mem_latency_s: float             # DRAM random-access latency
+    mlp_per_core: float              # outstanding misses per core
+    parallel_efficiency: float       # OpenMP scaling efficiency
+    sync_overhead_s: float           # one barrier / parallel-region entry
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustainable streaming bandwidth, bytes/s."""
+        return self.peak_bandwidth * self.achievable_bandwidth_fraction
+
+    @property
+    def effective_flops(self) -> float:
+        """FLOP/s tuned numeric kernels sustain across all cores."""
+        return self.dp_flops * self.flop_efficiency
+
+    @property
+    def random_access_rate(self) -> float:
+        """Independent random accesses/s (Little's law over DRAM latency)."""
+        return self.cores * self.mlp_per_core / self.mem_latency_s
+
+
+#: Paper Table II: Intel Xeon E5-2640 (Sandy Bridge), 6 cores @ 2.50 GHz,
+#: 6 x 32 KB L1D, 6 x 256 KB L2, 15 MB shared L3, 64 GB DRAM.
+SANDY_BRIDGE_E5_2640 = CpuSpec(
+    name="Intel Xeon E5-2640",
+    architecture="Sandy Bridge",
+    cores=6,
+    clock_hz=2.5e9,
+    l1d_bytes=32 * 1024,
+    l2_bytes=256 * 1024,
+    l3_bytes=15 * 1024**2,
+    dram_bytes=64 * 1024**3,
+    peak_bandwidth=42.6e9,              # 3-channel DDR3-1333
+    achievable_bandwidth_fraction=0.45,   # strided FFT traffic, not STREAM
+    dp_flops=6 * 2.5e9 * 8,             # AVX: 4 adds + 4 muls per cycle
+    flop_efficiency=0.45,
+    mem_latency_s=90e-9,
+    mlp_per_core=2.0,                   # dependent index chains keep only ~2
+                                        # of the 10 LFBs busy per core
+    parallel_efficiency=0.85,
+    sync_overhead_s=8e-6,
+)
+
+
+#: Intel Xeon Phi 5110P (Knights Corner) — the paper's named future-work
+#: target: 60 in-order cores @ 1.053 GHz, 8 GB GDDR5 at 320 GB/s.  Wide
+#: parallelism but weak single-thread and high sync costs; PsFFT's
+#: latency-bound gathers benefit from the 60-way MLP, its serial phases do
+#: not.
+XEON_PHI_5110P = CpuSpec(
+    name="Intel Xeon Phi 5110P",
+    architecture="Knights Corner",
+    cores=60,
+    clock_hz=1.053e9,
+    l1d_bytes=32 * 1024,
+    l2_bytes=512 * 1024,
+    l3_bytes=30 * 1024**2,          # aggregate coherent L2 acts as LLC
+    dram_bytes=8 * 1024**3,
+    peak_bandwidth=320e9,
+    achievable_bandwidth_fraction=0.50,
+    dp_flops=1.01e12,
+    flop_efficiency=0.30,           # hard to fill 512-bit VPUs from FFTs
+    mem_latency_s=300e-9,           # GDDR5 + ring latency
+    mlp_per_core=8.0,
+    parallel_efficiency=0.70,
+    sync_overhead_s=20e-6,
+)
+
+#: All simulated CPU-style devices, for cross-architecture sweeps.
+CPU_DEVICES = (SANDY_BRIDGE_E5_2640, XEON_PHI_5110P)

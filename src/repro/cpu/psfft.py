@@ -1,0 +1,159 @@
+"""PsFFT — the authors' OpenMP parallel sFFT on the multicore CPU.
+
+The paper compares cusFFT against its own prior work (reference [6]), an
+OpenMP parallelization of the same six-step pipeline.  Functionally that is
+exactly :func:`repro.core.sfft` (same algorithm, same answers), so this
+module wraps the core driver and adds the Table II cost model:
+
+* **perm+filter** — ``w*L`` strided gathers from the length-``n`` signal.
+  Each gather is a DRAM-latency-bound cache miss once ``n`` outgrows L3;
+  the cores' aggregate memory-level parallelism sets the rate.
+* **bucket FFT** — ``L`` FFTs of size ``B``; FLOP-bound (``B`` fits in L3
+  for every size the paper sweeps).
+* **cutoff** — one partial-selection pass over ``B*L`` magnitudes.
+* **recovery** — ``L * select * n/B`` scatter votes into a dense score
+  array: read-modify-write cache misses at the machine's random-access
+  rate (the same Little's-law bound as the gathers).
+* **estimation** — ``~k*L`` reconstruction bodies.
+
+Every parallel step pays one OpenMP fork/join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.parameters import SfftParameters, derive_parameters
+from ..core.plan import SfftPlan, make_plan
+from ..core.sfft import SparseFFTResult, sfft
+from ..perf.counts import StepCounts, sfft_step_counts
+from ..utils.rng import RngLike
+from .cpuspec import SANDY_BRIDGE_E5_2640, CpuSpec
+
+__all__ = ["PsfftStepTimes", "PsFFT"]
+
+_COMPLEX = 16
+
+
+@dataclass(frozen=True)
+class PsfftStepTimes:
+    """Modeled per-step wall-clock of one PsFFT execution."""
+
+    perm_filter: float
+    bucket_fft: float
+    cutoff: float
+    recovery: float
+    estimation: float
+    sync: float
+
+    @property
+    def total(self) -> float:
+        """End-to-end modeled time."""
+        return (
+            self.perm_filter
+            + self.bucket_fft
+            + self.cutoff
+            + self.recovery
+            + self.estimation
+            + self.sync
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Step-name -> seconds mapping (same keys as the profiler uses)."""
+        return {
+            "perm_filter": self.perm_filter,
+            "bucket_fft": self.bucket_fft,
+            "cutoff": self.cutoff,
+            "recovery": self.recovery,
+            "estimation": self.estimation,
+            "sync": self.sync,
+        }
+
+
+@dataclass
+class PsFFT:
+    """The OpenMP-parallel CPU sparse FFT (functional + modeled time)."""
+
+    params: SfftParameters
+    threads: int = 6
+    cpu: CpuSpec = SANDY_BRIDGE_E5_2640
+    _plan: SfftPlan | None = field(default=None, repr=False)
+
+    @classmethod
+    def create(
+        cls,
+        n: int,
+        k: int,
+        *,
+        threads: int = 6,
+        cpu: CpuSpec = SANDY_BRIDGE_E5_2640,
+        **overrides,
+    ) -> "PsFFT":
+        """Build a PsFFT instance for an ``(n, k)`` problem."""
+        return cls(params=derive_parameters(n, k, **overrides), threads=threads, cpu=cpu)
+
+    # -- functional ---------------------------------------------------------
+
+    def plan(self, seed: RngLike = None) -> SfftPlan:
+        """Materialize (and cache) the execution plan."""
+        if self._plan is None:
+            self._plan = make_plan(
+                self.params.n, self.params.k, seed=seed, params=self.params
+            )
+        return self._plan
+
+    def execute(self, x, *, seed: RngLike = None) -> SparseFFTResult:
+        """Run the transform (same answers as :func:`repro.core.sfft`)."""
+        return sfft(x, plan=self.plan(seed))
+
+    # -- modeled time ---------------------------------------------------------
+
+    def step_counts(self) -> StepCounts:
+        """Operation counts shared with the GPU model."""
+        return sfft_step_counts(self.params)
+
+    def estimated_times(self) -> PsfftStepTimes:
+        """Modeled per-step times on the configured CPU."""
+        c = self.step_counts()
+        cpu = self.cpu
+        cores = min(self.threads, cpu.cores)
+        scale = (cores / cpu.cores) * cpu.parallel_efficiency
+        flops_rate = cpu.effective_flops * max(scale, 1e-6)
+        random_rate = (cores * cpu.mlp_per_core / cpu.mem_latency_s)
+
+        # perm+filter: latency-bound gathers once the signal spills L3,
+        # streaming-bound (cheap) while it still fits.
+        if c.signal_bytes <= cpu.l3_bytes:
+            gather_s = c.gathers * _COMPLEX / cpu.effective_bandwidth
+        else:
+            gather_s = c.gathers / random_rate
+        filter_flop_s = 8.0 * c.filter_flops / flops_rate
+        perm_filter = max(gather_s, filter_flop_s)
+
+        fft_flops = 5.0 * c.B * np.log2(max(2, c.B)) * c.fft_batch
+        bucket_fft = fft_flops / flops_rate
+
+        cutoff = 4.0 * c.cutoff_elements / flops_rate
+
+        # Dense score-array votes: every vote is a read-modify-write cache
+        # miss on the length-n score array — latency-bound random access at
+        # exactly the gather rate.
+        recovery = c.votes / random_rate
+
+        estimation = 60.0 * c.estimation_ops / flops_rate
+
+        sync = 5 * cpu.sync_overhead_s * cores  # one fork/join per step
+        return PsfftStepTimes(
+            perm_filter=perm_filter,
+            bucket_fft=bucket_fft,
+            cutoff=cutoff,
+            recovery=recovery,
+            estimation=estimation,
+            sync=sync,
+        )
+
+    def estimated_time(self) -> float:
+        """Total modeled wall-clock of one execution."""
+        return self.estimated_times().total

@@ -1,0 +1,5 @@
+"""Simulated cuFFT library (functional NumPy transforms + Kepler cost model)."""
+
+from .plan import CufftPlan
+
+__all__ = ["CufftPlan"]

@@ -1,0 +1,76 @@
+"""Simulated CUDA substrate: device model, memory/coalescing, kernels,
+streams, and an event-driven overlap scheduler."""
+
+from .atomics import AtomicProfile, atomic_time
+from .audit import AccessAudit, audit_addresses, classify_pattern
+from .device import GPU_DEVICES, KEPLER_K20X, KEPLER_K40, MAXWELL_M40, DeviceSpec, Occupancy
+from .kernel import KernelSpec, KernelTiming, estimate_kernel
+from .memory_pool import Allocation, DeviceMemoryPool
+from .memory import (
+    AccessPattern,
+    GlobalAccess,
+    measure_transactions,
+    transaction_count,
+    useful_bytes,
+    wire_bytes,
+)
+from .profiler import KernelSummary, render_summary, render_timeline, summarize
+from .simt import SimtReport, VBuffer, WarpContext, simt_price, simt_run
+from .shared import (
+    SharedAccess,
+    bank_conflict_factor,
+    measure_bank_conflicts,
+    shared_time,
+)
+from .stream import Event, OpKind, Operation, Stream
+from .thrust import inclusive_scan, reduce_sum, sort_by_key, sort_passes
+from .timeline import GpuSimulation, OpRecord, TimelineReport
+
+__all__ = [
+    "AtomicProfile",
+    "atomic_time",
+    "AccessAudit",
+    "audit_addresses",
+    "classify_pattern",
+    "GPU_DEVICES",
+    "KEPLER_K20X",
+    "KEPLER_K40",
+    "MAXWELL_M40",
+    "DeviceSpec",
+    "Occupancy",
+    "KernelSpec",
+    "KernelTiming",
+    "estimate_kernel",
+    "Allocation",
+    "DeviceMemoryPool",
+    "AccessPattern",
+    "GlobalAccess",
+    "measure_transactions",
+    "transaction_count",
+    "useful_bytes",
+    "wire_bytes",
+    "SimtReport",
+    "VBuffer",
+    "WarpContext",
+    "simt_price",
+    "simt_run",
+    "SharedAccess",
+    "bank_conflict_factor",
+    "measure_bank_conflicts",
+    "shared_time",
+    "KernelSummary",
+    "render_summary",
+    "render_timeline",
+    "summarize",
+    "Event",
+    "OpKind",
+    "Operation",
+    "Stream",
+    "inclusive_scan",
+    "reduce_sum",
+    "sort_by_key",
+    "sort_passes",
+    "GpuSimulation",
+    "OpRecord",
+    "TimelineReport",
+]

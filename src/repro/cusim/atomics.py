@@ -1,0 +1,66 @@
+"""Atomic-operation contention model.
+
+Section IV-C rejects the conventional GPU histogram because "the usage of
+atomic operations can be a major bottleneck".  The simulator needs to price
+that claim: conflict-free atomics stream at the device's atomic throughput,
+while atomics hitting the *same* address serialize — each serialized update
+pays an L2 round trip.
+
+The model: ``ops`` atomic operations spread over ``distinct_addresses``
+hotspots produce an expected longest serial chain of roughly
+``ops / distinct_addresses`` (balanced case) and the kernel cannot retire
+faster than that chain, nor faster than raw throughput allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .device import DeviceSpec
+
+__all__ = ["AtomicProfile", "atomic_time"]
+
+
+@dataclass(frozen=True)
+class AtomicProfile:
+    """Atomic workload description for one kernel launch.
+
+    Attributes
+    ----------
+    ops:
+        Total atomic operations issued by the grid.
+    distinct_addresses:
+        Number of distinct target addresses (1 = a single global counter,
+        the worst case; ``ops`` = fully conflict-free).
+    """
+
+    ops: int
+    distinct_addresses: int
+
+    def __post_init__(self) -> None:
+        if self.ops < 0:
+            raise ParameterError(f"ops must be >= 0, got {self.ops}")
+        if self.distinct_addresses < 1 and self.ops > 0:
+            raise ParameterError("distinct_addresses must be >= 1 when ops > 0")
+
+    @property
+    def conflict_chain(self) -> float:
+        """Expected serialized updates on the hottest address."""
+        if self.ops == 0:
+            return 0.0
+        return self.ops / self.distinct_addresses
+
+
+def atomic_time(profile: AtomicProfile | None, device: DeviceSpec) -> float:
+    """Seconds a kernel spends bound by its atomic traffic.
+
+    ``max(throughput time, serialization time)`` — a kernel with a million
+    conflict-free atomics is throughput-bound; a thousand atomics on one
+    counter are latency-chain-bound.
+    """
+    if profile is None or profile.ops == 0:
+        return 0.0
+    throughput_s = profile.ops / device.atomic_throughput
+    serial_s = profile.conflict_chain * device.atomic_serial_latency_s
+    return max(throughput_s, serial_s)

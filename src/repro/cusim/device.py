@@ -1,0 +1,238 @@
+"""Simulated CUDA device model.
+
+No GPU exists in this environment, so the paper's testbed (Table I: a Tesla
+K20x, Kepler GK110) is reproduced as an explicit machine model.  Everything
+performance-related in the reproduction flows through this object:
+
+* static limits (SMs, warp size, registers, shared memory) feed the
+  :class:`Occupancy` calculator, exactly as NVIDIA's occupancy spreadsheet
+  computes them;
+* rate parameters (bandwidth, double-precision FLOP rate, memory latency,
+  memory-level parallelism per warp) feed the kernel cost model in
+  :mod:`repro.cusim.kernel`;
+* the stream scheduler (:mod:`repro.cusim.timeline`) uses ``sm_count`` and
+  ``max_concurrent_kernels`` to decide how kernels share the machine.
+
+Calibration note: all *shape* claims in the reproduced figures (who wins,
+crossovers, scaling slopes) come from operation/transaction counts; the
+constants below only set absolute scale.  They are the K20x's published
+numbers with an ``achievable_bandwidth_fraction`` derate reflecting ECC and
+real-world efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LaunchConfigError
+
+__all__ = [
+    "DeviceSpec",
+    "Occupancy",
+    "KEPLER_K20X",
+    "KEPLER_K40",
+    "MAXWELL_M40",
+    "GPU_DEVICES",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated CUDA device.
+
+    Attributes mirror the hardware data sheet; see :data:`KEPLER_K20X` for
+    the paper's Table I instance.
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_hz: float
+    warp_size: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    registers_per_sm: int
+    shared_mem_per_sm: int          # bytes usable as shared memory
+    global_mem_bytes: int
+    peak_bandwidth: float           # bytes/s
+    achievable_bandwidth_fraction: float
+    dp_flops: float                 # peak double-precision FLOP/s
+    transaction_bytes: int          # global-memory transaction granularity
+    mem_latency_s: float            # global load round-trip latency
+    mlp_per_warp: float             # outstanding transactions a warp sustains
+    kernel_launch_overhead_s: float
+    max_concurrent_kernels: int
+    atomic_throughput: float        # conflict-free global atomics per second
+    atomic_serial_latency_s: float  # added latency per serialized conflict
+    pcie_bandwidth: float           # bytes/s per copy-engine direction
+    pcie_latency_s: float
+    copy_engines: int
+    ldg_transaction_bytes: int = 32  # read-only/texture path granularity
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores across all SMs."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustainable global-memory bandwidth in bytes/s."""
+        return self.peak_bandwidth * self.achievable_bandwidth_fraction
+
+    def occupancy(
+        self,
+        threads_per_block: int,
+        *,
+        registers_per_thread: int = 32,
+        shared_per_block: int = 0,
+    ) -> "Occupancy":
+        """Compute the occupancy of a launch configuration on this device.
+
+        Raises :class:`LaunchConfigError` when the block cannot run at all
+        (too many threads, registers, or shared memory for one SM).
+        """
+        if threads_per_block < 1 or threads_per_block > self.max_threads_per_block:
+            raise LaunchConfigError(
+                f"threads_per_block={threads_per_block} outside "
+                f"[1, {self.max_threads_per_block}]"
+            )
+        if registers_per_thread < 1:
+            raise LaunchConfigError("registers_per_thread must be >= 1")
+        if shared_per_block < 0:
+            raise LaunchConfigError("shared_per_block must be >= 0")
+
+        warps_per_block = -(-threads_per_block // self.warp_size)
+        limits = {
+            "blocks": self.max_blocks_per_sm,
+            "threads": self.max_threads_per_sm // (warps_per_block * self.warp_size),
+            "registers": self.registers_per_sm
+            // (registers_per_thread * warps_per_block * self.warp_size),
+        }
+        if shared_per_block > 0:
+            limits["shared"] = self.shared_mem_per_sm // shared_per_block
+        blocks_per_sm = min(limits.values())
+        if blocks_per_sm < 1:
+            limiter = min(limits, key=limits.get)
+            raise LaunchConfigError(
+                f"block of {threads_per_block} threads cannot be scheduled: "
+                f"{limiter} limit exceeded"
+            )
+        active_warps = blocks_per_sm * warps_per_block
+        max_warps = self.max_threads_per_sm // self.warp_size
+        limiter = min(limits, key=limits.get)
+        return Occupancy(
+            blocks_per_sm=blocks_per_sm,
+            active_warps_per_sm=min(active_warps, max_warps),
+            max_warps_per_sm=max_warps,
+            limiter=limiter,
+        )
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one launch configuration."""
+
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    max_warps_per_sm: int
+    limiter: str
+
+    @property
+    def fraction(self) -> float:
+        """Occupancy as the classic warps-resident / warps-possible ratio."""
+        return self.active_warps_per_sm / self.max_warps_per_sm
+
+
+#: The paper's GPU test-bench (Table I): Tesla K20x, Kepler GK110.
+#: 14 SMs x 192 cores, 732 MHz, 6 GB, 250 GB/s, CUDA capability 3.5.
+KEPLER_K20X = DeviceSpec(
+    name="Tesla K20x",
+    sm_count=14,
+    cores_per_sm=192,
+    clock_hz=732e6,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    registers_per_sm=65536,
+    shared_mem_per_sm=48 * 1024,
+    global_mem_bytes=6 * 1024**3,
+    peak_bandwidth=250e9,
+    achievable_bandwidth_fraction=0.72,   # ECC on, ~180 GB/s STREAM-like
+    dp_flops=1.31e12,                     # K20x peak double precision
+    transaction_bytes=128,
+    mem_latency_s=600 / 732e6,            # ~600 cycles
+    mlp_per_warp=4.0,
+    kernel_launch_overhead_s=5e-6,
+    max_concurrent_kernels=32,
+    atomic_throughput=2.4e9,
+    atomic_serial_latency_s=22 / 732e6,   # ~1 op / 22 cycles per L2 slice
+                                          # on same-address conflict chains
+    pcie_bandwidth=6e9,                   # PCIe gen2 x16 effective
+    pcie_latency_s=8e-6,
+    copy_engines=2,
+)
+
+
+#: Kepler K40: the K20x's bigger sibling (15 SMs, 12 GB, 288 GB/s) — the
+#: paper's "future work on emerging architectures" starts here.
+KEPLER_K40 = DeviceSpec(
+    name="Tesla K40",
+    sm_count=15,
+    cores_per_sm=192,
+    clock_hz=745e6,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    registers_per_sm=65536,
+    shared_mem_per_sm=48 * 1024,
+    global_mem_bytes=12 * 1024**3,
+    peak_bandwidth=288e9,
+    achievable_bandwidth_fraction=0.72,
+    dp_flops=1.43e12,
+    transaction_bytes=128,
+    mem_latency_s=600 / 745e6,
+    mlp_per_warp=4.0,
+    kernel_launch_overhead_s=5e-6,
+    max_concurrent_kernels=32,
+    atomic_throughput=2.6e9,
+    atomic_serial_latency_s=22 / 745e6,
+    pcie_bandwidth=6e9,
+    pcie_latency_s=8e-6,
+    copy_engines=2,
+)
+
+#: Maxwell M40: weak double precision (1/32 rate) but strong bandwidth and
+#: much faster atomics — an instructive target because sFFT is memory- and
+#: atomics-bound, not FLOP-bound, so it ports well despite the DP cut.
+MAXWELL_M40 = DeviceSpec(
+    name="Tesla M40 (Maxwell)",
+    sm_count=24,
+    cores_per_sm=128,
+    clock_hz=948e6,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    shared_mem_per_sm=96 * 1024,
+    global_mem_bytes=12 * 1024**3,
+    peak_bandwidth=288e9,
+    achievable_bandwidth_fraction=0.78,
+    dp_flops=0.21e12,                     # 1/32 of SP — Maxwell's DP cut
+    transaction_bytes=128,
+    mem_latency_s=368 / 948e6,
+    mlp_per_warp=6.0,
+    kernel_launch_overhead_s=4e-6,
+    max_concurrent_kernels=32,
+    atomic_throughput=6.0e9,              # Maxwell's shared/global atomics
+    atomic_serial_latency_s=12 / 948e6,
+    pcie_bandwidth=12e9,                  # PCIe gen3
+    pcie_latency_s=6e-6,
+    copy_engines=2,
+)
+
+#: All simulated GPU devices, for cross-architecture sweeps.
+GPU_DEVICES = (KEPLER_K20X, KEPLER_K40, MAXWELL_M40)

@@ -1,0 +1,197 @@
+"""Kernel launch descriptions and the per-launch cost model.
+
+A :class:`KernelSpec` is the simulator's stand-in for a compiled CUDA
+kernel: launch geometry plus *countable* resource demands — FLOPs, global
+memory access streams, atomics, a serialized-dependency depth.  The cost
+model combines them roofline-style:
+
+``total = launch_overhead + max(compute, memory, latency_chain) + atomics``
+
+with two occupancy effects the paper leans on:
+
+* low occupancy throttles compute (not enough resident warps to fill the
+  pipelines), and
+* **memory-level parallelism** caps achievable bandwidth by Little's law:
+  a kernel with few resident warps cannot keep enough transactions in
+  flight to saturate DRAM (``bytes_in_flight / latency`` < peak).  This is
+  exactly why the asynchronous layout transformation helps — concurrent
+  kernels on different streams add their in-flight transactions together.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import LaunchConfigError
+from .atomics import AtomicProfile, atomic_time
+from .device import DeviceSpec, Occupancy
+from .memory import GlobalAccess, transaction_count, useful_bytes, wire_bytes
+from .shared import SharedAccess, shared_time
+
+__all__ = ["KernelSpec", "KernelTiming", "estimate_kernel"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Resource model of one kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (profiler aggregation key).
+    grid_blocks / threads_per_block:
+        Launch geometry.
+    flops_per_thread:
+        Arithmetic per thread (double-precision FLOPs; a complex
+        multiply-add counts 8).
+    accesses:
+        Global-memory streams (see :class:`~repro.cusim.memory.GlobalAccess`).
+    shared_accesses:
+        Shared-memory streams with their bank-conflict strides (see
+        :class:`~repro.cusim.shared.SharedAccess`).
+    atomics:
+        Optional atomic workload.
+    dependent_rounds:
+        Longest chain of *serially dependent* global accesses in one thread
+        (a pointer-chase or accumulation loop with one load per round);
+        bounds the kernel below by ``rounds * mem_latency / mlp``.
+    registers_per_thread / shared_per_block:
+        Occupancy inputs.
+    """
+
+    name: str
+    grid_blocks: int
+    threads_per_block: int
+    flops_per_thread: float = 0.0
+    accesses: tuple[GlobalAccess, ...] = field(default_factory=tuple)
+    shared_accesses: tuple[SharedAccess, ...] = field(default_factory=tuple)
+    atomics: AtomicProfile | None = None
+    dependent_rounds: int = 1
+    registers_per_thread: int = 32
+    shared_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 1:
+            raise LaunchConfigError(f"grid_blocks must be >= 1, got {self.grid_blocks}")
+        if self.flops_per_thread < 0:
+            raise LaunchConfigError("flops_per_thread must be >= 0")
+        if self.dependent_rounds < 1:
+            raise LaunchConfigError("dependent_rounds must be >= 1")
+
+    @property
+    def total_threads(self) -> int:
+        """Threads across the whole grid."""
+        return self.grid_blocks * self.threads_per_block
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Cost-model output for one launch (isolated, i.e. no stream sharing)."""
+
+    name: str
+    compute_s: float
+    memory_s: float
+    latency_s: float
+    atomic_s: float
+    overhead_s: float
+    occupancy: Occupancy
+    transactions: int
+    wire_bytes: int
+    useful_bytes: int
+    sm_demand: float
+
+    @property
+    def total_s(self) -> float:
+        """Isolated kernel duration."""
+        return (
+            self.overhead_s
+            + max(self.compute_s, self.memory_s, self.latency_s)
+            + self.atomic_s
+        )
+
+    @property
+    def bound(self) -> str:
+        """Which term dominates: compute / memory / latency."""
+        terms = {
+            "compute": self.compute_s,
+            "memory": self.memory_s,
+            "latency": self.latency_s,
+        }
+        return max(terms, key=terms.get)
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """Useful bytes / wire bytes (1.0 = perfectly coalesced)."""
+        if self.wire_bytes == 0:
+            return 1.0
+        return self.useful_bytes / self.wire_bytes
+
+
+def estimate_kernel(spec: KernelSpec, device: DeviceSpec) -> KernelTiming:
+    """Price one kernel launch on ``device`` (isolated execution)."""
+    occ = device.occupancy(
+        spec.threads_per_block,
+        registers_per_thread=spec.registers_per_thread,
+        shared_per_block=spec.shared_per_block,
+    )
+
+    # Resident warps actually achievable for this grid (a tiny grid cannot
+    # fill the machine no matter the per-block occupancy).
+    grid_warps = math.ceil(spec.total_threads / device.warp_size)
+    resident_capacity = device.sm_count * occ.active_warps_per_sm
+    resident_warps = min(grid_warps, resident_capacity)
+    machine_warps = device.sm_count * occ.max_warps_per_sm
+
+    # --- compute time ----------------------------------------------------
+    # Utilization scales with resident warps up to the point the pipelines
+    # are full (~half the maximum warp population suffices on Kepler).
+    fill = min(1.0, resident_warps / (0.5 * machine_warps))
+    total_flops = spec.flops_per_thread * spec.total_threads
+    compute_s = 0.0
+    if total_flops > 0:
+        compute_s = total_flops / (device.dp_flops * max(fill, 1e-3))
+    # Shared-memory traffic (bank conflicts included) contends with the
+    # arithmetic pipelines, so it lands on the compute side of the roofline.
+    compute_s += shared_time(spec.shared_accesses, device) / max(fill, 1e-3)
+
+    # --- memory time ------------------------------------------------------
+    txns = sum(transaction_count(a, device) for a in spec.accesses)
+    wire = sum(wire_bytes(a, device) for a in spec.accesses)
+    useful = sum(useful_bytes(a, device) for a in spec.accesses)
+    memory_s = 0.0
+    if wire > 0:
+        # Little's law cap: bytes the resident warps keep in flight.
+        in_flight = resident_warps * device.mlp_per_warp * device.transaction_bytes
+        mlp_bw = in_flight / device.mem_latency_s
+        achievable = min(device.effective_bandwidth, mlp_bw)
+        memory_s = wire / achievable
+
+    # --- latency chain ----------------------------------------------------
+    # One thread's serially dependent loads cannot be overlapped with each
+    # other; mlp_per_warp independent accumulations soften the chain.
+    latency_s = 0.0
+    if spec.accesses:
+        latency_s = (
+            spec.dependent_rounds * device.mem_latency_s / device.mlp_per_warp
+        )
+
+    atomic_s = atomic_time(spec.atomics, device)
+
+    # Fraction of the machine this kernel occupies while resident — used by
+    # the stream scheduler to decide how much concurrency is possible.
+    sm_demand = max(1.0 / device.sm_count, resident_warps / machine_warps)
+
+    return KernelTiming(
+        name=spec.name,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        latency_s=latency_s,
+        atomic_s=atomic_s,
+        overhead_s=device.kernel_launch_overhead_s,
+        occupancy=occ,
+        transactions=txns,
+        wire_bytes=wire,
+        useful_bytes=useful,
+        sm_demand=min(1.0, sm_demand),
+    )

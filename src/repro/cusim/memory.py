@@ -1,0 +1,194 @@
+"""Global-memory access modeling: coalescing and transaction counting.
+
+Section IV-B of the paper is all about this: "all threads of a warp should
+read/write global memory in a coalesced way ... non-coalesced memory access
+could lead to more memory transactions than necessary".  The simulator makes
+that statement quantitative in two ways:
+
+* **analytic** — :func:`transaction_count` maps a declared access *pattern*
+  (coalesced / strided / random / broadcast) to the number of 128-byte
+  transactions a warp issues, exactly the rules of the Kepler coalescer;
+* **measured** — :func:`measure_transactions` takes the actual per-thread
+  byte addresses a (virtual) warp issues and counts the distinct memory
+  segments touched, which is what the hardware's ``gld_transactions``
+  counter reports.  Tests cross-check the two.
+
+Wire traffic (``transactions x 128B``) versus useful traffic
+(``elements x element_bytes``) is the coalescing inefficiency that the
+asynchronous data-layout transformation (Section V-A) attacks.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from .device import DeviceSpec
+
+__all__ = [
+    "AccessPattern",
+    "GlobalAccess",
+    "segment_bytes",
+    "transaction_count",
+    "wire_bytes",
+    "useful_bytes",
+    "measure_transactions",
+]
+
+
+class AccessPattern(enum.Enum):
+    """How consecutive threads of a warp address global memory."""
+
+    #: thread ``i`` touches element ``base + i`` — perfectly coalesced.
+    COALESCED = "coalesced"
+    #: thread ``i`` touches element ``base + i*stride`` (stride in elements).
+    STRIDED = "strided"
+    #: threads touch effectively uncorrelated addresses (data-dependent
+    #: gather, e.g. ``signal[(i*sigma) % n]`` with random ``sigma``).
+    RANDOM = "random"
+    #: every thread in the warp reads the same address.
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """One logical global-memory access stream of a kernel.
+
+    Attributes
+    ----------
+    pattern:
+        Warp-level address pattern.
+    elements:
+        Total elements moved across the whole grid (all threads, all
+        iterations).
+    element_bytes:
+        Size of one element (16 for ``complex128``).
+    stride:
+        Element stride between consecutive lanes for ``STRIDED``.
+    is_write:
+        Stores instead of loads (same transaction rules on Kepler).
+    use_ldg:
+        Route loads through Kepler's 48 KB read-only data cache
+        (``__ldg()`` / ``const __restrict__``): transactions shrink to the
+        texture path's 32-byte granularity, which quarters the wire traffic
+        of scattered small-element gathers.  Loads only.
+    """
+
+    pattern: AccessPattern
+    elements: int
+    element_bytes: int
+    stride: int = 1
+    is_write: bool = False
+    use_ldg: bool = False
+
+    def __post_init__(self) -> None:
+        if self.elements < 0:
+            raise ParameterError(f"elements must be >= 0, got {self.elements}")
+        if self.element_bytes < 1:
+            raise ParameterError(
+                f"element_bytes must be >= 1, got {self.element_bytes}"
+            )
+        if self.pattern is AccessPattern.STRIDED and self.stride < 1:
+            raise ParameterError(f"stride must be >= 1, got {self.stride}")
+        if self.use_ldg and self.is_write:
+            raise ParameterError("the read-only (__ldg) path cannot write")
+
+
+def transaction_count(access: GlobalAccess, device: DeviceSpec) -> int:
+    """Number of global-memory transactions for ``access`` on ``device``.
+
+    Warp-granular analytic model of the Kepler coalescer with 128-byte
+    segments:
+
+    * coalesced: a warp's ``32 * element_bytes`` contiguous bytes need
+      ``ceil(32*eb / 128)`` segments;
+    * strided: consecutive lanes are ``stride*eb`` bytes apart, so a warp
+      spans ``32*stride*eb`` bytes -> ``min(32, ceil(span/128))`` segments
+      (once the stride exceeds a segment, every lane pays its own);
+    * random: every lane touches its own segment -> 32 per warp (one per
+      element);
+    * broadcast: one segment serves the whole warp.
+    """
+    if access.elements == 0:
+        return 0
+    ws = device.warp_size
+    tb = segment_bytes(access, device)
+    eb = access.element_bytes
+    warps = math.ceil(access.elements / ws)
+
+    # Warp-granular coalesced count: each warp issues its own transactions
+    # (two warps never share a segment fetch even when their addresses
+    # abut), so small-element accesses pay at least one segment per warp.
+    full_warps, rem = divmod(access.elements, ws)
+    coalesced = full_warps * math.ceil(ws * eb / tb)
+    if rem:
+        coalesced += math.ceil(rem * eb / tb)
+    random = int(access.elements) * max(1, math.ceil(eb / tb))
+
+    if access.pattern is AccessPattern.COALESCED:
+        return coalesced
+    if access.pattern is AccessPattern.STRIDED:
+        span = ws * access.stride * eb
+        per_warp = min(ws, math.ceil(span / tb))
+        raw = warps * max(per_warp, math.ceil(ws * eb / tb))
+        # A strided access never beats fully-dense coalescing and never
+        # exceeds one transaction per element (partial warps cap it).
+        return max(coalesced, min(raw, random))
+    if access.pattern is AccessPattern.RANDOM:
+        return random
+    if access.pattern is AccessPattern.BROADCAST:
+        return warps
+    raise ParameterError(f"unhandled pattern {access.pattern}")
+
+
+def segment_bytes(access: GlobalAccess, device: DeviceSpec) -> int:
+    """Transaction granularity this access pays: 128 B through L1, 32 B
+    through the read-only (texture) path."""
+    return device.ldg_transaction_bytes if access.use_ldg else device.transaction_bytes
+
+
+def wire_bytes(access: GlobalAccess, device: DeviceSpec) -> int:
+    """Bytes actually moved on the memory bus (transactions x segment size)."""
+    return transaction_count(access, device) * segment_bytes(access, device)
+
+
+def useful_bytes(access: GlobalAccess, device: DeviceSpec) -> int:
+    """Bytes the kernel actually consumes from this stream.
+
+    For a broadcast every lane reads the *same* element, so the warp
+    consumes one element, not 32.
+    """
+    if access.pattern is AccessPattern.BROADCAST:
+        warps = math.ceil(access.elements / device.warp_size) if access.elements else 0
+        return warps * access.element_bytes
+    return access.elements * access.element_bytes
+
+
+def measure_transactions(
+    byte_addresses: np.ndarray, device: DeviceSpec
+) -> int:
+    """Count transactions for *measured* per-thread byte addresses.
+
+    ``byte_addresses`` holds the address each consecutive thread touches
+    (1-D, grid-linearized).  Threads are grouped into warps of
+    ``device.warp_size``; each warp pays one transaction per distinct
+    ``transaction_bytes``-aligned segment its lanes touch — the definition
+    of the hardware transaction counter.
+    """
+    addr = np.asarray(byte_addresses)
+    if addr.ndim != 1:
+        raise ParameterError(f"addresses must be 1-D, got shape {addr.shape}")
+    if addr.size == 0:
+        return 0
+    if np.issubdtype(addr.dtype, np.floating):
+        raise ParameterError("addresses must be integers")
+    ws = device.warp_size
+    segs = addr.astype(np.int64) // device.transaction_bytes
+    total = 0
+    for start in range(0, segs.size, ws):
+        total += np.unique(segs[start : start + ws]).size
+    return total

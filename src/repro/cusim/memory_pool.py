@@ -1,0 +1,84 @@
+"""Device memory accounting.
+
+The K20x carries 6 GB; at the paper's largest size the input signal alone
+is 2 GB (2^27 complex doubles), so a real implementation budgets carefully.
+:class:`DeviceMemoryPool` is a simple bump accountant: named allocations
+against the device's capacity, failing with
+:class:`~repro.errors.DeviceMemoryError` when the footprint would not fit —
+which callers (cusFFT's planner) use to reject shapes the physical card
+could not run.
+
+This is bookkeeping, not data: buffers live in host NumPy arrays; the pool
+tracks what their device twins would occupy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceMemoryError, ParameterError
+from .device import DeviceSpec
+
+__all__ = ["Allocation", "DeviceMemoryPool"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One named device allocation."""
+
+    name: str
+    nbytes: int
+
+
+@dataclass
+class DeviceMemoryPool:
+    """Tracks allocations against a device's global memory."""
+
+    device: DeviceSpec
+    reserved_bytes: int = 64 * 1024 * 1024   # runtime/context overhead
+    _allocs: dict[str, Allocation] = field(default_factory=dict)
+
+    @property
+    def capacity(self) -> int:
+        """Usable bytes (global memory minus the runtime reservation)."""
+        return self.device.global_mem_bytes - self.reserved_bytes
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return sum(a.nbytes for a in self._allocs.values())
+
+    @property
+    def free(self) -> int:
+        """Bytes remaining."""
+        return self.capacity - self.used
+
+    def alloc(self, name: str, nbytes: int) -> Allocation:
+        """Allocate ``nbytes`` under ``name``.
+
+        Raises :class:`DeviceMemoryError` when it does not fit and
+        :class:`ParameterError` on a duplicate name or non-positive size.
+        """
+        if nbytes <= 0:
+            raise ParameterError(f"allocation size must be positive, got {nbytes}")
+        if name in self._allocs:
+            raise ParameterError(f"allocation {name!r} already exists")
+        if nbytes > self.free:
+            raise DeviceMemoryError(
+                f"{name}: {nbytes / 1e9:.2f} GB requested, "
+                f"{self.free / 1e9:.2f} GB free of "
+                f"{self.capacity / 1e9:.2f} GB on {self.device.name}"
+            )
+        a = Allocation(name=name, nbytes=int(nbytes))
+        self._allocs[name] = a
+        return a
+
+    def release(self, name: str) -> None:
+        """Free the allocation ``name``."""
+        if name not in self._allocs:
+            raise ParameterError(f"no allocation named {name!r}")
+        del self._allocs[name]
+
+    def summary(self) -> dict[str, int]:
+        """``{name: bytes}`` of live allocations."""
+        return {a.name: a.nbytes for a in self._allocs.values()}

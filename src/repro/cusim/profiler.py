@@ -1,0 +1,153 @@
+"""nvprof-style aggregation of a simulated timeline.
+
+The paper's Figure 2 comes from profiling — per-step time shares as ``n``
+and ``k`` vary.  This module turns a
+:class:`~repro.cusim.timeline.TimelineReport` into per-kernel-name summaries
+(calls, total/avg time, share of makespan, memory-bound fraction) and a
+rendered table, so the reproduction's profiling harness reads like
+``nvprof --print-gpu-summary`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.tables import format_seconds, format_table
+from .stream import OpKind
+from .timeline import TimelineReport
+
+__all__ = ["KernelSummary", "summarize", "render_summary", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """Aggregate statistics for all launches sharing one kernel name."""
+
+    name: str
+    calls: int
+    total_s: float
+    avg_s: float
+    share: float           # of total device busy time
+    wire_bytes: int
+    coalescing_efficiency: float
+
+
+def summarize(report: TimelineReport) -> list[KernelSummary]:
+    """Group kernel records by name; descending total time."""
+    groups: dict[str, list] = {}
+    for rec in report.records:
+        if rec.kind is not OpKind.KERNEL:
+            continue
+        groups.setdefault(rec.name, []).append(rec)
+    busy = sum(r.isolated_s for recs in groups.values() for r in recs)
+    out = []
+    for name, recs in groups.items():
+        total = sum(r.isolated_s for r in recs)
+        wire = sum(r.timing.wire_bytes for r in recs if r.timing)
+        useful = sum(r.timing.useful_bytes for r in recs if r.timing)
+        out.append(
+            KernelSummary(
+                name=name,
+                calls=len(recs),
+                total_s=total,
+                avg_s=total / len(recs),
+                share=total / busy if busy > 0 else 0.0,
+                wire_bytes=wire,
+                coalescing_efficiency=(useful / wire) if wire else 1.0,
+            )
+        )
+    out.sort(key=lambda s: s.total_s, reverse=True)
+    return out
+
+
+def render_summary(report: TimelineReport, title: str = "GPU kernel summary") -> str:
+    """Render the per-kernel table plus transfer/makespan footer."""
+    rows = [
+        [
+            s.name,
+            s.calls,
+            format_seconds(s.total_s),
+            format_seconds(s.avg_s),
+            f"{100 * s.share:.1f}%",
+            f"{100 * s.coalescing_efficiency:.0f}%",
+        ]
+        for s in summarize(report)
+    ]
+    table = format_table(
+        ["kernel", "calls", "total", "avg", "share", "coalesce"],
+        rows,
+        title=title,
+    )
+    transfers = [
+        r for r in report.records if r.kind in (OpKind.H2D, OpKind.D2H)
+    ]
+    xfer_s = sum(r.isolated_s for r in transfers)
+    footer = (
+        f"\ntransfers: {len(transfers)} ({format_seconds(xfer_s)})"
+        f"   makespan: {format_seconds(report.makespan_s)}"
+        f"   peak concurrency: {report.max_concurrency()}"
+    )
+    return table + footer
+
+
+def render_timeline(
+    report: TimelineReport, *, width: int = 72, max_rows: int = 24
+) -> str:
+    """ASCII Gantt of the simulated timeline (a text-mode nvvp).
+
+    One row per stream, time flowing left to right across ``width``
+    columns; each op paints its interval with the first letter of its
+    name (kernels) or ``<``/``>`` (H2D/D2H transfers).  Streams beyond
+    ``max_rows`` are summarized.
+    """
+    if not report.records or report.makespan_s <= 0:
+        return "(empty timeline)"
+    scale = width / report.makespan_s
+
+    # Assign each kernel name a distinct symbol: prefer a letter from the
+    # (prefix-stripped) name, fall back to digits.
+    symbols: dict[str, str] = {}
+    used: set[str] = set()
+    for rec in report.records:
+        if rec.kind is not OpKind.KERNEL or rec.name in symbols:
+            continue
+        stripped = rec.name.replace("cusfft_", "").replace("thrust_", "")
+        pick = next(
+            (c for c in stripped + "0123456789" if c.isalnum() and c not in used),
+            "?",
+        )
+        symbols[rec.name] = pick
+        used.add(pick)
+
+    streams: dict[int, list] = {}
+    for rec in report.records:
+        streams.setdefault(rec.stream_id, []).append(rec)
+
+    lines = [f"timeline ({format_seconds(report.makespan_s)} total, "
+             f"1 col = {format_seconds(report.makespan_s / width)})"]
+    shown = 0
+    # Label streams ordinally within this report (raw Stream ids are
+    # globally unique and carry no meaning to the reader).
+    for ordinal, sid in enumerate(sorted(streams)):
+        if shown >= max_rows:
+            lines.append(f"... {len(streams) - shown} more streams")
+            break
+        shown += 1
+        row = [" "] * width
+        for rec in streams[sid]:
+            lo = min(width - 1, int(rec.start_s * scale))
+            hi = min(width, max(lo + 1, int(rec.end_s * scale)))
+            if rec.kind is OpKind.H2D:
+                ch = "<"
+            elif rec.kind is OpKind.D2H:
+                ch = ">"
+            elif rec.kind is OpKind.HOST:
+                ch = "."
+            else:
+                ch = symbols.get(rec.name, "?")
+            for i in range(lo, hi):
+                row[i] = ch
+        lines.append(f"s{ordinal:<3d} |{''.join(row)}|")
+    legend = sorted(f"{sym}={name}" for name, sym in symbols.items())
+    lines.append("legend: " + ", ".join(legend) + ", <=H2D, >=D2H")
+    return "\n".join(lines)

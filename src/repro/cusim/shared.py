@@ -1,0 +1,119 @@
+"""Shared-memory bank-conflict model.
+
+Kepler's shared memory is organized as 32 banks of 4 (or 8) bytes;
+simultaneous accesses by a warp's lanes to *different words in the same
+bank* serialize.  The model mirrors the transaction model's two faces:
+
+* **analytic** — :func:`bank_conflict_factor` maps an access stride to the
+  replay factor (1 = conflict-free, 32 = fully serialized), the textbook
+  ``32 / gcd-cycle`` rule;
+* **measured** — :func:`measure_bank_conflicts` counts the worst per-bank
+  collision count for actual lane addresses, which is what the
+  ``shared_ld_bank_conflict`` hardware counter reports.
+
+Kernels declare shared traffic via :class:`SharedAccess`; the cost model
+adds ``replays * accesses / shared_throughput`` to the compute side (shared
+memory is an SM-local resource, not a DRAM one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from .device import DeviceSpec
+
+__all__ = [
+    "SharedAccess",
+    "bank_conflict_factor",
+    "measure_bank_conflicts",
+    "shared_time",
+]
+
+#: Banks on every CUDA generation this simulator targets.
+N_BANKS = 32
+#: Bank word size (Kepler default mode).
+BANK_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SharedAccess:
+    """One shared-memory access stream of a kernel.
+
+    Attributes
+    ----------
+    accesses:
+        Warp-level shared accesses across the whole grid (each access
+        moves one word per lane).
+    stride_words:
+        Word stride between consecutive lanes (1 = conflict-free,
+        even strides conflict; 32 = fully serialized on one bank).
+    """
+
+    accesses: int
+    stride_words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.accesses < 0:
+            raise ParameterError(f"accesses must be >= 0, got {self.accesses}")
+        if self.stride_words < 0:
+            raise ParameterError(
+                f"stride_words must be >= 0, got {self.stride_words}"
+            )
+
+
+def bank_conflict_factor(stride_words: int) -> int:
+    """Replay factor for a warp accessing with lane stride ``stride_words``.
+
+    The classic result: lanes ``i`` touch banks ``(i * stride) % 32``; the
+    number of lanes sharing the busiest bank is ``gcd(stride, 32)`` — except
+    stride 0 (a broadcast), which the hardware serves in one cycle.
+    """
+    if stride_words < 0:
+        raise ParameterError("stride must be >= 0")
+    if stride_words == 0:
+        return 1  # broadcast is conflict-free
+    return math.gcd(stride_words, N_BANKS)
+
+
+def measure_bank_conflicts(lane_word_addresses: np.ndarray) -> int:
+    """Replay factor for measured per-lane word addresses (one warp).
+
+    Lanes hitting the *same word* broadcast (no conflict); lanes hitting
+    different words in one bank serialize.  Returns the worst per-bank
+    distinct-word count.
+    """
+    addr = np.asarray(lane_word_addresses)
+    if addr.ndim != 1 or addr.size == 0 or addr.size > N_BANKS:
+        raise ParameterError(
+            f"expected 1..{N_BANKS} lane addresses, got shape {addr.shape}"
+        )
+    if np.issubdtype(addr.dtype, np.floating):
+        raise ParameterError("addresses must be integers")
+    banks = addr.astype(np.int64) % N_BANKS
+    worst = 1
+    for b in np.unique(banks):
+        distinct_words = np.unique(addr[banks == b]).size
+        worst = max(worst, distinct_words)
+    return worst
+
+
+def shared_time(
+    accesses: tuple[SharedAccess, ...], device: DeviceSpec
+) -> float:
+    """Seconds a kernel spends on shared-memory traffic.
+
+    Each SM serves one warp-wide shared access per cycle; replays multiply.
+    Aggregate throughput is ``sm_count * clock`` warp-accesses per second.
+    """
+    if not accesses:
+        return 0.0
+    warp_ops = 0.0
+    for a in accesses:
+        warp_ops += (a.accesses / device.warp_size) * bank_conflict_factor(
+            a.stride_words
+        )
+    return warp_ops / (device.sm_count * device.clock_hz)

@@ -1,0 +1,256 @@
+"""SIMT micro-interpreter: execute warp-lockstep kernels with full tracing.
+
+The analytic cost model prices kernels from *declared* access patterns; the
+audit module checks address traces.  This module closes the last gap: it
+**runs** a kernel — written as a Python function over 32-lane vectors — in
+warp lockstep against virtual global-memory buffers, recording every load
+and store.  The result is both the functional output *and* the measured
+transaction/divergence statistics, so a test can hand the same kernel body
+to the interpreter and to the cost model and require that they agree.
+
+It is deliberately tiny: lanes are NumPy vectors, a warp executes
+statements in lockstep (exactly the SIMT contract), and predication is
+explicit via the ``active`` mask.  Use it for validation at small sizes;
+the production functional path stays fully vectorized.
+
+Example — a gather-accumulate kernel (the heart of Algorithm 2)::
+
+    def kernel(w: WarpContext) -> None:
+        acc = np.zeros(w.tid.size, dtype=np.complex128)
+        for j in range(rounds):
+            idx = (w.tid + B * j) * sigma % n
+            acc += w.load(signal_buf, idx) * w.load(filter_buf, w.tid + B * j)
+        w.store(bucket_buf, w.tid, acc)
+
+    report = simt_run(kernel, total_threads=B, device=KEPLER_K20X)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ParameterError
+from .device import DeviceSpec
+
+__all__ = ["VBuffer", "WarpContext", "SimtReport", "simt_run", "simt_price"]
+
+#: Virtual buffers are placed on disjoint, segment-aligned base addresses.
+_BASE_ALIGN = 1 << 20
+
+
+class VBuffer:
+    """A virtual global-memory buffer (NumPy array + base address)."""
+
+    def __init__(self, data: np.ndarray, base: int):
+        arr = np.asarray(data)
+        if arr.ndim != 1:
+            raise ParameterError("virtual buffers must be 1-D")
+        self.data = arr.copy()
+        self.base = int(base)
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes per element."""
+        return self.data.dtype.itemsize
+
+    def addresses(self, idx: np.ndarray) -> np.ndarray:
+        """Byte addresses of the elements at ``idx``."""
+        return self.base + np.asarray(idx, dtype=np.int64) * self.element_bytes
+
+
+@dataclass
+class _Event:
+    kind: str               # "load" | "store"
+    buffer: VBuffer
+    addresses: np.ndarray   # per active lane
+    active_lanes: int
+    warp_lanes: int
+
+
+class WarpContext:
+    """One warp's view during lockstep execution.
+
+    Attributes
+    ----------
+    tid:
+        Global thread ids of this warp's lanes (length <= warp size).
+    active:
+        Predication mask; :meth:`push_mask` narrows it (an ``if`` branch),
+        :meth:`pop_mask` restores it.
+    """
+
+    def __init__(self, tid: np.ndarray, device: DeviceSpec, events: list[_Event]):
+        self.tid = tid
+        self.device = device
+        self.active = np.ones(tid.size, dtype=bool)
+        self._mask_stack: list[np.ndarray] = []
+        self._events = events
+
+    # -- memory -----------------------------------------------------------
+
+    def load(self, buf: VBuffer, idx) -> np.ndarray:
+        """Gather ``buf[idx]`` for the active lanes (others read zero)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.shape != self.tid.shape:
+            raise ParameterError("per-lane index shape mismatch")
+        out = np.zeros(self.tid.shape, dtype=buf.data.dtype)
+        act = self.active
+        if act.any():
+            lane_idx = idx[act] % buf.data.size
+            out[act] = buf.data[lane_idx]
+            self._events.append(
+                _Event("load", buf, buf.addresses(lane_idx), int(act.sum()),
+                       self.tid.size)
+            )
+        return out
+
+    def store(self, buf: VBuffer, idx, values) -> None:
+        """Scatter ``values`` to ``buf[idx]`` for the active lanes."""
+        idx = np.asarray(idx, dtype=np.int64)
+        values = np.asarray(values)
+        if idx.shape != self.tid.shape or values.shape != self.tid.shape:
+            raise ParameterError("per-lane index/value shape mismatch")
+        act = self.active
+        if act.any():
+            lane_idx = idx[act] % buf.data.size
+            buf.data[lane_idx] = values[act]
+            self._events.append(
+                _Event("store", buf, buf.addresses(lane_idx), int(act.sum()),
+                       self.tid.size)
+            )
+
+    # -- predication --------------------------------------------------------
+
+    def push_mask(self, condition) -> None:
+        """Enter a divergent branch: lanes failing ``condition`` sleep."""
+        cond = np.asarray(condition, dtype=bool)
+        if cond.shape != self.tid.shape:
+            raise ParameterError("condition shape mismatch")
+        self._mask_stack.append(self.active.copy())
+        self.active = self.active & cond
+
+    def pop_mask(self) -> None:
+        """Leave the branch: restore the previous mask."""
+        if not self._mask_stack:
+            raise ParameterError("pop_mask without matching push_mask")
+        self.active = self._mask_stack.pop()
+
+
+@dataclass
+class SimtReport:
+    """Measured statistics of one lockstep kernel run."""
+
+    total_threads: int
+    loads: int = 0
+    stores: int = 0
+    transactions: int = 0
+    wire_bytes: int = 0
+    useful_bytes: int = 0
+    #: average fraction of lanes active across memory operations
+    lane_utilization: float = 1.0
+    per_buffer_transactions: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """Useful / wire bytes, like the cost model reports."""
+        if self.wire_bytes == 0:
+            return 1.0
+        return self.useful_bytes / self.wire_bytes
+
+
+def simt_run(
+    kernel,
+    total_threads: int,
+    device: DeviceSpec,
+    *buffers: np.ndarray,
+) -> tuple[SimtReport, list[VBuffer]]:
+    """Execute ``kernel`` over ``total_threads`` in warp lockstep.
+
+    ``buffers`` are the arrays the kernel touches; each is wrapped into a
+    :class:`VBuffer` on its own aligned base address and passed to
+    ``kernel`` after the warp context:  ``kernel(warp, *vbuffers)``.
+
+    Returns ``(report, vbuffers)`` — the vbuffers hold the kernel's output
+    state for functional checks.
+    """
+    if total_threads < 1:
+        raise ParameterError("total_threads must be >= 1")
+    vbufs = [
+        VBuffer(arr, base=(i + 1) * _BASE_ALIGN * 64) for i, arr in enumerate(buffers)
+    ]
+    events: list[_Event] = []
+    ws = device.warp_size
+    for start in range(0, total_threads, ws):
+        tid = np.arange(start, min(start + ws, total_threads), dtype=np.int64)
+        warp = WarpContext(tid, device, events)
+        kernel(warp, *vbufs)
+        if warp._mask_stack:
+            raise ParameterError("kernel exited with an unbalanced mask stack")
+
+    report = SimtReport(total_threads=total_threads)
+    utilizations = []
+    for ev in events:
+        segs = np.unique(ev.addresses // device.transaction_bytes).size
+        report.transactions += segs
+        report.wire_bytes += segs * device.transaction_bytes
+        report.useful_bytes += ev.active_lanes * ev.buffer.element_bytes
+        key = ev.buffer.base
+        report.per_buffer_transactions[key] = (
+            report.per_buffer_transactions.get(key, 0) + segs
+        )
+        utilizations.append(ev.active_lanes / ev.warp_lanes)
+        if ev.kind == "load":
+            report.loads += ev.active_lanes
+        else:
+            report.stores += ev.active_lanes
+    if utilizations:
+        report.lane_utilization = float(np.mean(utilizations))
+    return report, vbufs
+
+
+def simt_price(
+    kernel,
+    total_threads: int,
+    device: DeviceSpec,
+    *buffers: np.ndarray,
+    flops_per_thread: float = 0.0,
+    threads_per_block: int = 256,
+):
+    """Run a kernel in lockstep AND price it from its measured behaviour.
+
+    Bridges the interpreter and the cost model: the kernel executes
+    (functional results land in the returned buffers) while its measured
+    transaction count replaces any declared access pattern — memory time is
+    ``measured_wire_bytes / achievable_bandwidth`` with the same MLP cap
+    and launch overhead the analytic path uses.
+
+    Returns ``(report, vbuffers, seconds)``.
+    """
+    from .kernel import KernelSpec, estimate_kernel
+    from .memory import AccessPattern, GlobalAccess
+
+    report, vbufs = simt_run(kernel, total_threads, device, *buffers)
+    # Encode the measured traffic as one synthetic coalesced stream whose
+    # wire bytes equal the measurement (segment-exact), so estimate_kernel
+    # prices exactly what was observed.
+    elems = report.wire_bytes // device.transaction_bytes
+    accesses = ()
+    if elems > 0:
+        accesses = (
+            GlobalAccess(
+                AccessPattern.COALESCED,
+                elems * (device.transaction_bytes // 16),
+                16,
+            ),
+        )
+    spec = KernelSpec(
+        name=getattr(kernel, "__name__", "simt_kernel"),
+        grid_blocks=max(1, -(-total_threads // threads_per_block)),
+        threads_per_block=threads_per_block,
+        flops_per_thread=flops_per_thread,
+        accesses=accesses,
+    )
+    timing = estimate_kernel(spec, device)
+    return report, vbufs, timing.total_s

@@ -1,0 +1,97 @@
+"""CUDA stream / event abstractions for the simulator.
+
+Streams give the paper its Section V-A optimization: "we take advantage of
+CUDA concurrent kernel executions where multiple kernels execute
+concurrently on different CUDA streams".  The simulator reproduces the
+semantics that matter:
+
+* operations enqueued on one stream execute in order;
+* operations on different streams may overlap, subject to machine
+  resources and the device's concurrent-kernel limit;
+* events provide cross-stream ordering (op B ``after`` event E recorded
+  behind op A).
+
+The actual scheduling/overlap math lives in :mod:`repro.cusim.timeline`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import StreamError
+from .kernel import KernelTiming
+
+__all__ = ["OpKind", "Operation", "Event", "Stream"]
+
+
+class OpKind(enum.Enum):
+    """What an enqueued operation does."""
+
+    KERNEL = "kernel"
+    H2D = "h2d"
+    D2H = "d2h"
+    HOST = "host"
+
+
+@dataclass
+class Operation:
+    """One enqueued operation awaiting simulation.
+
+    ``duration_s`` is the *isolated* duration (the cost model's output);
+    the timeline stretches it when the machine is shared.  ``demand`` is
+    the fraction of the machine the op wants while running (kernels: SM
+    demand; copies: 1.0 of one copy engine direction).
+    """
+
+    name: str
+    kind: OpKind
+    duration_s: float
+    demand: float
+    stream_id: int
+    seq: int
+    after: tuple["Event", ...] = field(default_factory=tuple)
+    timing: KernelTiming | None = None
+    bytes_moved: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise StreamError(f"duration must be >= 0, got {self.duration_s}")
+        if not 0 < self.demand <= 1.0:
+            raise StreamError(f"demand must be in (0, 1], got {self.demand}")
+
+
+@dataclass(frozen=True)
+class Event:
+    """Marker recorded after an operation; others can wait on it."""
+
+    op: Operation
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event(after={self.op.name!r})"
+
+
+class Stream:
+    """An in-order queue of operations (one CUDA stream)."""
+
+    _ids = itertools.count()
+
+    def __init__(self) -> None:
+        self.id = next(Stream._ids)
+        self.ops: list[Operation] = []
+
+    def append(self, op: Operation) -> None:
+        """Internal: enqueue an operation (driver code uses GpuSimulation)."""
+        if op.stream_id != self.id:
+            raise StreamError("operation enqueued on the wrong stream")
+        self.ops.append(op)
+
+    def record_event(self) -> Event:
+        """CUDA ``cudaEventRecord``: marks completion of the last op."""
+        if not self.ops:
+            raise StreamError("cannot record an event on an empty stream")
+        return Event(op=self.ops[-1])
+
+    def __len__(self) -> int:
+        return len(self.ops)

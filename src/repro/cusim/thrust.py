@@ -1,0 +1,141 @@
+"""Device-side primitive library (the simulator's stand-in for Thrust).
+
+The paper's baseline cutoff uses Thrust's ``sort_by_key`` (Algorithm 3) and
+its discussion prices sorting at ``B log B`` versus the linear-time
+selection of Algorithm 6.  This module provides the primitives with both a
+*functional* NumPy body and a *kernel-cost* description matching how the
+real library executes:
+
+* ``sort_by_key`` — LSD radix sort: ``passes`` sweeps, each reading and
+  writing the full key+value payload (plus a histogram/scan per pass);
+* ``reduce`` — single coalesced read of the input;
+* ``inclusive_scan`` — Blelloch scan, ~2 passes over the data.
+
+Each primitive returns ``(result, [KernelSpec, ...])`` so callers can both
+use the values and enqueue the specs on a stream for timing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ParameterError
+from .memory import AccessPattern, GlobalAccess
+from .kernel import KernelSpec
+
+__all__ = ["RADIX_BITS", "sort_passes", "sort_by_key", "reduce_sum", "inclusive_scan"]
+
+#: Radix width Thrust's LSD sort uses on Kepler-era hardware.
+RADIX_BITS = 4
+_BLOCK = 256
+
+
+def sort_passes(key_bits: int) -> int:
+    """Number of radix passes to fully order ``key_bits``-bit keys."""
+    if key_bits < 1:
+        raise ParameterError(f"key_bits must be >= 1, got {key_bits}")
+    return math.ceil(key_bits / RADIX_BITS)
+
+
+def _grid(n: int) -> int:
+    return max(1, -(-n // _BLOCK))
+
+
+def sort_by_key(
+    keys: np.ndarray,
+    values: np.ndarray,
+    *,
+    descending: bool = True,
+    key_bits: int = 64,
+) -> tuple[tuple[np.ndarray, np.ndarray], list[KernelSpec]]:
+    """Radix ``sort_by_key``: returns sorted ``(keys, values)`` plus specs.
+
+    Functional result is exact (NumPy argsort, stable); the cost specs model
+    ``sort_passes(key_bits)`` sweeps, each moving keys and values twice.
+    """
+    k = np.asarray(keys)
+    v = np.asarray(values)
+    if k.shape != v.shape or k.ndim != 1:
+        raise ParameterError("keys and values must be equal-length 1-D arrays")
+    order = np.argsort(k, kind="stable")
+    if descending:
+        order = order[::-1]
+    n = k.size
+    passes = sort_passes(key_bits)
+    payload = k.dtype.itemsize + v.dtype.itemsize
+    specs = []
+    for p in range(passes):
+        specs.append(
+            KernelSpec(
+                name="thrust_radix_histogram",
+                grid_blocks=_grid(n),
+                threads_per_block=_BLOCK,
+                flops_per_thread=4.0,
+                accesses=(
+                    GlobalAccess(AccessPattern.COALESCED, n, k.dtype.itemsize),
+                ),
+            )
+        )
+        specs.append(
+            KernelSpec(
+                name="thrust_radix_scatter",
+                grid_blocks=_grid(n),
+                threads_per_block=_BLOCK,
+                flops_per_thread=8.0,
+                accesses=(
+                    GlobalAccess(AccessPattern.COALESCED, n, payload),
+                    # Scatter writes land wherever the digit ordering sends
+                    # them — effectively random within the pass.
+                    GlobalAccess(AccessPattern.RANDOM, n, payload, is_write=True),
+                ),
+            )
+        )
+    return (k[order], v[order]), specs
+
+
+def reduce_sum(values: np.ndarray) -> tuple[complex, list[KernelSpec]]:
+    """Device reduction: sum of ``values`` plus its cost spec."""
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise ParameterError("values must be 1-D")
+    spec = KernelSpec(
+        name="thrust_reduce",
+        grid_blocks=_grid(v.size),
+        threads_per_block=_BLOCK,
+        flops_per_thread=2.0,
+        accesses=(GlobalAccess(AccessPattern.COALESCED, v.size, v.dtype.itemsize),),
+        shared_per_block=_BLOCK * v.dtype.itemsize,
+    )
+    return v.sum(), [spec]
+
+
+def inclusive_scan(values: np.ndarray) -> tuple[np.ndarray, list[KernelSpec]]:
+    """Device inclusive prefix sum plus its cost specs (~2 data passes)."""
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise ParameterError("values must be 1-D")
+    eb = v.dtype.itemsize
+    specs = [
+        KernelSpec(
+            name="thrust_scan_upsweep",
+            grid_blocks=_grid(v.size),
+            threads_per_block=_BLOCK,
+            flops_per_thread=2.0,
+            accesses=(GlobalAccess(AccessPattern.COALESCED, v.size, eb),),
+            shared_per_block=_BLOCK * eb,
+        ),
+        KernelSpec(
+            name="thrust_scan_downsweep",
+            grid_blocks=_grid(v.size),
+            threads_per_block=_BLOCK,
+            flops_per_thread=2.0,
+            accesses=(
+                GlobalAccess(AccessPattern.COALESCED, v.size, eb),
+                GlobalAccess(AccessPattern.COALESCED, v.size, eb, is_write=True),
+            ),
+            shared_per_block=_BLOCK * eb,
+        ),
+    ]
+    return np.cumsum(v), specs

@@ -1,0 +1,127 @@
+"""Adaptive transform dispatch: dense or sparse, chosen by the cost models.
+
+The paper's Figure 5(a) crossover raises the obvious operational question:
+*given this (n, k), should I run the dense FFT or the sparse one?*  Because
+both sides of the trade have machine models here, the answer is a lookup:
+:func:`recommend_transform` prices cuFFT, cusFFT, FFTW, and PsFFT for the
+shape and returns the modeled winner per platform, and :func:`auto_sfft`
+acts on it — running either the dense ``numpy.fft.fft`` or the sparse
+pipeline, whichever the model says is faster on the CPU path.
+
+This is the "promising opportunity to replace the FFT primitives" of the
+paper's contribution list, made concrete: a drop-in entry point that only
+pays the sparse machinery where it wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.dense import dense_topk
+from .core.sfft import SparseFFTResult, sfft
+from .cpu.cpuspec import SANDY_BRIDGE_E5_2640, CpuSpec
+from .cpu.fftw import FftwPlan
+from .cpu.psfft import PsFFT
+from .cufft.plan import CufftPlan
+from .cusim.device import KEPLER_K20X, DeviceSpec
+from .errors import ParameterError
+from .gpu.config import OPTIMIZED, CusfftConfig
+from .gpu.cusfft import CusFFT
+from .utils.rng import RngLike
+from .utils.validation import as_complex_signal
+
+__all__ = ["DispatchDecision", "recommend_transform", "auto_sfft"]
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """Modeled times and winners for one ``(n, k)`` shape.
+
+    Attributes
+    ----------
+    gpu_winner / cpu_winner:
+        ``"sparse"`` or ``"dense"`` per platform.
+    times:
+        Modeled seconds: ``{"cufft", "cusfft", "fftw", "psfft"}``.
+    """
+
+    n: int
+    k: int
+    gpu_winner: str
+    cpu_winner: str
+    times: dict[str, float]
+
+    @property
+    def gpu_advantage(self) -> float:
+        """Dense/sparse time ratio on the GPU (>1 means sparse wins)."""
+        return self.times["cufft"] / self.times["cusfft"]
+
+    @property
+    def cpu_advantage(self) -> float:
+        """Dense/sparse time ratio on the CPU (>1 means sparse wins)."""
+        return self.times["fftw"] / self.times["psfft"]
+
+
+def recommend_transform(
+    n: int,
+    k: int,
+    *,
+    device: DeviceSpec = KEPLER_K20X,
+    cpu: CpuSpec = SANDY_BRIDGE_E5_2640,
+    config: CusfftConfig = OPTIMIZED,
+    **overrides,
+) -> DispatchDecision:
+    """Price dense vs sparse on both platforms and name the winners.
+
+    ``overrides`` go to the sparse parameter derivation (e.g.
+    ``profile="fast"``); the dense transforms have no parameters.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    times = {
+        "cufft": CufftPlan(n).estimated_time(device),
+        "cusfft": CusFFT.create(
+            n, k, config=config, device=device, **overrides
+        ).estimated_time(),
+        "fftw": FftwPlan(n, threads=cpu.cores, cpu=cpu).estimated_time(),
+        "psfft": PsFFT.create(n, k, threads=cpu.cores, cpu=cpu, **overrides).estimated_time(),
+    }
+    return DispatchDecision(
+        n=n,
+        k=k,
+        gpu_winner="sparse" if times["cusfft"] < times["cufft"] else "dense",
+        cpu_winner="sparse" if times["psfft"] < times["fftw"] else "dense",
+        times=times,
+    )
+
+
+def auto_sfft(
+    x,
+    k: int,
+    *,
+    cpu: CpuSpec = SANDY_BRIDGE_E5_2640,
+    seed: RngLike = None,
+    **overrides,
+) -> tuple[SparseFFTResult, DispatchDecision]:
+    """Transform ``x`` with whichever CPU-path algorithm the model prefers.
+
+    Returns ``(result, decision)``.  When the dense path wins, the dense
+    FFT runs and its top-``k`` coefficients are packaged in the same
+    :class:`~repro.core.sfft.SparseFFTResult` shape, so callers are
+    agnostic to the route taken.
+    """
+    x = as_complex_signal(x)
+    decision = recommend_transform(x.size, k, cpu=cpu, **overrides)
+    if decision.cpu_winner == "sparse":
+        result = sfft(x, k, seed=seed, **overrides)
+    else:
+        locs, vals = dense_topk(np.fft.fft(x), k)
+        result = SparseFFTResult(
+            n=x.size,
+            locations=locs,
+            values=vals,
+            votes=np.zeros(locs.size, dtype=np.int64),
+        )
+    return result, decision

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by library code derive from
+:class:`ReproError`, so callers can catch one base class.  Errors are split
+along the package's architectural seams: parameter/plan problems, simulated
+device misuse, and experiment-harness failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A transform or plan parameter is invalid or inconsistent.
+
+    Raised, e.g., for a signal size that is not a power of two, a sparsity
+    ``k`` that is not in ``[1, n)``, or a bucket count that does not divide
+    the signal size.
+    """
+
+
+class FilterDesignError(ReproError, ValueError):
+    """A flat-window filter cannot be constructed from the given spec."""
+
+
+class DeviceError(ReproError, RuntimeError):
+    """Misuse of the simulated CUDA device (bad launch config, OOM, ...)."""
+
+
+class LaunchConfigError(DeviceError):
+    """A kernel launch configuration violates device limits."""
+
+
+class DeviceMemoryError(DeviceError):
+    """A simulated allocation exceeds the device's global memory."""
+
+
+class StreamError(DeviceError):
+    """Invalid use of the simulated stream/event machinery."""
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """Sparse recovery failed in a way the caller asked us to treat fatally.
+
+    The default sFFT driver degrades gracefully (it returns whatever
+    coefficients survived voting), but strict callers can request an
+    exception when fewer than ``k`` coefficients are recovered.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment id is unknown or an experiment run failed."""

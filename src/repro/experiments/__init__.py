@@ -1,0 +1,24 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .base import (
+    PAPER_SWEEP_K,
+    PAPER_SWEEP_N,
+    PAPER_TRANSFORM_KWARGS,
+    ExperimentResult,
+    ExperimentSpec,
+    paper_kwargs,
+)
+from .registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "PAPER_SWEEP_K",
+    "PAPER_SWEEP_N",
+    "PAPER_TRANSFORM_KWARGS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "paper_kwargs",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,66 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list          # enumerate experiments
+    python -m repro.experiments fig5a fig5c   # run specific experiments
+    python -m repro.experiments all           # run everything
+    python -m repro.experiments all --markdown  # EXPERIMENTS.md fragments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ExperimentError
+from .registry import list_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit GitHub-flavoured markdown instead of aligned text",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="append an ASCII chart for experiments that publish series",
+    )
+    args = parser.parse_args(argv)
+
+    if args.ids == ["list"]:
+        for spec in list_experiments():
+            print(f"{spec.experiment_id:14s} {spec.paper_ref:22s} {spec.title}")
+        return 0
+
+    ids = (
+        [s.experiment_id for s in list_experiments()]
+        if args.ids == ["all"]
+        else args.ids
+    )
+    for i, experiment_id in enumerate(ids):
+        try:
+            result = run_experiment(experiment_id)
+        except ExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.to_markdown() if args.markdown else result.render(plot=args.plot))
+        if i != len(ids) - 1:
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

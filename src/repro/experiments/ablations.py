@@ -1,0 +1,161 @@
+"""Ablation experiments: price each cusFFT optimization in isolation.
+
+DESIGN.md calls out four design choices; each ablation toggles exactly one
+of them and reports modeled times across sizes:
+
+* ``abl-partition`` — Algorithm 2's loop partition vs the conventional
+  atomic-histogram binning (Section IV-C's rejected strawman);
+* ``abl-layout``   — asynchronous data-layout transformation on/off
+  (Section V-A);
+* ``abl-select``   — fast threshold k-selection vs Thrust sort&select
+  (Section V-B / Algorithm 6 vs Algorithm 3);
+* ``abl-batch``    — batched vs per-loop cuFFT for the subsampled
+  transforms (Section IV-C step 3).
+"""
+
+from __future__ import annotations
+
+from ..cufft.plan import CufftPlan
+from ..cusim.device import KEPLER_K20X
+from ..gpu.config import ATOMIC_HISTOGRAM, BASELINE, CusfftConfig
+from ..gpu.cusfft import CusFFT
+from ..perf.counts import sfft_step_counts
+from ..utils.modmath import ilog2
+from ..utils.tables import format_ratio, format_seconds
+from .base import ExperimentResult, paper_kwargs
+
+__all__ = [
+    "run_ablation_partition",
+    "run_ablation_layout",
+    "run_ablation_select",
+    "run_ablation_batch",
+]
+
+_DEFAULT_SIZES = [1 << 20, 1 << 22, 1 << 24, 1 << 26]
+
+
+def _config_ablation(
+    exp_id: str,
+    title: str,
+    with_cfg: CusfftConfig,
+    without_cfg: CusfftConfig,
+    sizes: list[int] | None,
+    k: int,
+    notes: tuple[str, ...],
+) -> ExperimentResult:
+    sizes = sizes or _DEFAULT_SIZES
+    rows = []
+    for n in sizes:
+        kw = paper_kwargs(k)
+        t_without = CusFFT.create(n, k, config=without_cfg, **kw).estimated_time()
+        t_with = CusFFT.create(n, k, config=with_cfg, **kw).estimated_time()
+        rows.append(
+            (
+                f"2^{ilog2(n)}",
+                format_seconds(t_without),
+                format_seconds(t_with),
+                format_ratio(t_without / t_with),
+            )
+        )
+    return ExperimentResult(
+        experiment_id=exp_id,
+        title=title,
+        headers=("n", "without", "with", "speedup"),
+        rows=tuple(rows),
+        notes=notes,
+    )
+
+
+def run_ablation_partition(
+    sizes: list[int] | None = None, k: int = 1000
+) -> ExperimentResult:
+    """Loop-partition binning vs atomic-histogram binning."""
+    return _config_ablation(
+        "abl-partition",
+        "Loop partition (Alg 2) vs atomic histogram binning",
+        with_cfg=BASELINE,
+        without_cfg=ATOMIC_HISTOGRAM,
+        sizes=sizes,
+        k=k,
+        notes=(
+            "the collision-free formulation avoids 2 atomics per filter tap "
+            "(Section IV-C); both variants otherwise identical (sort cutoff)",
+        ),
+    )
+
+
+def run_ablation_layout(
+    sizes: list[int] | None = None, k: int = 1000
+) -> ExperimentResult:
+    """Asynchronous data-layout transformation on/off (fast select fixed)."""
+    return _config_ablation(
+        "abl-layout",
+        "Asynchronous data layout transformation on/off",
+        with_cfg=CusfftConfig(layout_transform=True, fast_select=True),
+        without_cfg=CusfftConfig(layout_transform=False, fast_select=True),
+        sizes=sizes,
+        k=k,
+        notes=(
+            "REPRODUCTION FINDING: under our bandwidth-honest device model "
+            "this optimization is neutral-to-negative (~0.8-1.0x): the split "
+            "pipeline moves strictly more DRAM bytes than the fused kernel "
+            "and pays ~2x the kernel-launch issues, while stream overlap can "
+            "only hide work the fused kernel also overlaps.  The paper's "
+            "observed gain implies its fused baseline under-achieved DRAM "
+            "bandwidth (TLB/partition-camping effects our model omits); the "
+            "paper's overall ~2x optimized-vs-baseline gap is reproduced by "
+            "the fast k-selection alone (see abl-select)",
+        ),
+    )
+
+
+def run_ablation_select(
+    sizes: list[int] | None = None, k: int = 1000
+) -> ExperimentResult:
+    """Fast threshold k-selection vs Thrust sort&select (layout fixed)."""
+    return _config_ablation(
+        "abl-select",
+        "Fast k-selection (Alg 6) vs Thrust sort&select (Alg 3)",
+        with_cfg=CusfftConfig(layout_transform=True, fast_select=True),
+        without_cfg=CusfftConfig(layout_transform=True, fast_select=False),
+        sizes=sizes,
+        k=k,
+        notes=(
+            "sort&select pays ~16 radix passes over B buckets per loop; the "
+            "threshold scan is one pass (Section V-B)",
+        ),
+    )
+
+
+def run_ablation_batch(
+    sizes: list[int] | None = None, k: int = 1000
+) -> ExperimentResult:
+    """Batched vs per-loop cuFFT for the L subsampled transforms."""
+    sizes = sizes or _DEFAULT_SIZES
+    rows = []
+    for n in sizes:
+        kw = paper_kwargs(k)
+        params = CusFFT.create(n, k, **kw).params
+        counts = sfft_step_counts(params)
+        plan = CufftPlan(counts.B, batch=counts.loops)
+        batched = plan.estimated_time(KEPLER_K20X)
+        looped = plan.estimated_time_unbatched(KEPLER_K20X)
+        rows.append(
+            (
+                f"2^{ilog2(n)}",
+                counts.B,
+                format_seconds(looped),
+                format_seconds(batched),
+                format_ratio(looped / batched),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl-batch",
+        title="Batched vs per-loop cuFFT for the subsampled FFTs",
+        headers=("n", "B", "looped", "batched", "speedup"),
+        rows=tuple(rows),
+        notes=(
+            "batched mode shares twiddle factors and amortizes per-pass "
+            "launches across all L loops (Section IV-C step 3)",
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Experiment framework: shared configuration and the result container.
+
+Every reproduced table/figure is an *experiment*: a callable producing rows
+that mirror what the paper reports.  Experiments default to the paper's
+evaluation configuration (``PAPER_SWEEP_*``) and are deterministic given
+their seed, so EXPERIMENTS.md can quote exact numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..utils.tables import format_table
+
+__all__ = [
+    "PAPER_TRANSFORM_KWARGS",
+    "PAPER_SWEEP_N",
+    "PAPER_SWEEP_K",
+    "paper_kwargs",
+    "ExperimentResult",
+    "ExperimentSpec",
+]
+
+#: Transform parameterization matching the reference implementation's
+#: economics (Section VI): B = sqrt(n*k/log2 n) exactly, L = 6 loops,
+#: cutoff keeps k buckets, 1e-6 filter tolerance.
+PAPER_TRANSFORM_KWARGS = dict(profile="fast", loops=6, bucket_constant=1.0)
+
+#: Figure 5(a)/(c)/(d)/(e): n from 2^18 to 2^27 at k = 1000.
+PAPER_SWEEP_N = [1 << p for p in range(18, 28)]
+
+#: Figure 5(b)/(f): k from 100 to 1000 at fixed n.
+PAPER_SWEEP_K = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+
+
+def paper_kwargs(k: int, **extra) -> dict:
+    """Per-transform kwargs for the paper configuration at sparsity ``k``."""
+    kw = dict(PAPER_TRANSFORM_KWARGS)
+    kw["select_count"] = k
+    kw.update(extra)
+    return kw
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rows reproducing one table/figure, plus context for the report."""
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+    #: optional raw series for plotting: (x_values, {name: y_values})
+    series: tuple | None = field(default=None, compare=False)
+
+    def render(self, *, plot: bool = False) -> str:
+        """Aligned text table with notes appended; ``plot=True`` adds an
+        ASCII chart when the experiment published raw series."""
+        out = format_table(list(self.headers), [list(r) for r in self.rows],
+                           title=f"[{self.experiment_id}] {self.title}")
+        if plot and self.series is not None:
+            from ..utils.asciiplot import line_chart
+
+            x, named = self.series
+            out += "\n\n" + line_chart(
+                x, named, title=f"{self.experiment_id}: {self.title}"
+            )
+        if self.notes:
+            out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return out
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+        head = "| " + " | ".join(self.headers) + " |"
+        sep = "|" + "|".join("---" for _ in self.headers) + "|"
+        body = "\n".join(
+            "| " + " | ".join(str(c) for c in row) + " |" for row in self.rows
+        )
+        notes = "\n".join(f"*{n}*" for n in self.notes)
+        return f"**{self.experiment_id}** — {self.title}\n\n{head}\n{sep}\n{body}\n{notes}".rstrip()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry: metadata plus the runner callable."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    description: str
+    runner: Callable[..., ExperimentResult]
+
+    def run(self, **options) -> ExperimentResult:
+        """Execute the experiment (options forwarded to the runner)."""
+        return self.runner(**options)

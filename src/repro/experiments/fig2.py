@@ -1,0 +1,89 @@
+"""Figure 2 experiments: per-step time distribution of the sparse FFT.
+
+Figure 2(a) sweeps ``n`` at fixed ``k = 1000``; Figure 2(b) sweeps ``k`` at
+fixed ``n``.  The paper's observations, which these rows must reproduce:
+
+* permutation + filtering dominates and its share *grows* with ``n``;
+* the estimation/recovery share *shrinks* with ``n`` (relative sparsity
+  falls when ``k`` is fixed — the paper calls this counter-intuitive);
+* with ``n`` fixed, perm+filter and estimation together dominate as ``k``
+  grows.
+
+Rows are modeled (PsFFT step model) by default so paper sizes are instant;
+``measured=True`` wall-clocks the real CPU pipeline instead (cap ``sizes``
+around 2^20 for that).  Both use the reference implementation's
+location/estimation loop split (``loc_loops=3`` of 6) — the code the paper
+actually profiled — whereas the Figure 5 pipelines vote in every loop.
+"""
+
+from __future__ import annotations
+
+from ..analysis.profiling import measure_breakdown, modeled_breakdown
+from ..utils.modmath import ilog2
+from ..utils.tables import format_seconds
+from .base import ExperimentResult, paper_kwargs
+
+__all__ = ["run_fig2a", "run_fig2b"]
+
+_STEPS = ("perm_filter", "bucket_fft", "cutoff", "recovery", "estimation")
+
+
+def _rows_for(params: list[tuple[int, int]], measured: bool, label_n: bool):
+    rows = []
+    for n, k in params:
+        # Figure 2 profiles the *serial reference implementation*, which
+        # split its loops into location and estimation phases (voting in
+        # only the first few); model the same structure here.
+        kw = paper_kwargs(k, loc_loops=3)
+        if measured:
+            bd = measure_breakdown(n, k, **kw)
+        else:
+            bd = modeled_breakdown(n, k, **kw)
+        shares = bd.shares()
+        label = f"2^{ilog2(n)}" if label_n else k
+        rows.append(
+            (
+                label,
+                format_seconds(bd.total),
+                *(f"{100 * shares.get(s, 0.0):.1f}%" for s in _STEPS),
+            )
+        )
+    return rows
+
+
+def run_fig2a(
+    sizes: list[int] | None = None, k: int = 1000, *, measured: bool = False
+) -> ExperimentResult:
+    """Figure 2(a): step shares as ``n`` grows, ``k`` fixed."""
+    sizes = sizes or [1 << p for p in range(18, 28)]
+    rows = _rows_for([(n, k) for n in sizes], measured, label_n=True)
+    return ExperimentResult(
+        experiment_id="fig2a",
+        title=f"sFFT step time distribution vs n (k={k}, "
+        f"{'measured' if measured else 'modeled'})",
+        headers=("n", "total", "perm+filter", "fft", "cutoff", "recovery", "estimation"),
+        rows=tuple(rows),
+        notes=(
+            "paper shape: perm+filter share grows with n; estimation/"
+            "recovery share falls (relative sparsity decreases)",
+        ),
+    )
+
+
+def run_fig2b(
+    n: int = 1 << 25, ks: list[int] | None = None, *, measured: bool = False
+) -> ExperimentResult:
+    """Figure 2(b): step shares as ``k`` grows, ``n`` fixed."""
+    ks = ks or [500, 1000, 2000, 4000]
+    rows = _rows_for([(n, k) for k in ks], measured, label_n=False)
+    return ExperimentResult(
+        experiment_id="fig2b",
+        title=f"sFFT step time distribution vs k (n=2^{ilog2(n)}, "
+        f"{'measured' if measured else 'modeled'})",
+        headers=("k", "total", "perm+filter", "fft", "cutoff", "recovery", "estimation"),
+        rows=tuple(rows),
+        notes=(
+            "paper shape: perm+filter and estimation steps gradually "
+            "dominate as k grows",
+        ),
+    )

@@ -1,0 +1,19 @@
+"""Flat-window filters (Gaussian / Dolph-Chebyshev) for spectrum binning."""
+
+from .analysis import FilterReport, analyze_filter
+from .base import FlatFilter
+from .dolph_chebyshev import chebyshev_support, dolph_chebyshev_window
+from .flat_window import dirichlet_kernel, make_flat_window
+from .gaussian import gaussian_support, gaussian_window
+
+__all__ = [
+    "FilterReport",
+    "analyze_filter",
+    "FlatFilter",
+    "chebyshev_support",
+    "dolph_chebyshev_window",
+    "dirichlet_kernel",
+    "make_flat_window",
+    "gaussian_support",
+    "gaussian_window",
+]

@@ -1,0 +1,53 @@
+"""Gaussian base window.
+
+The Gaussian is one of the two windows the paper names (Section III, step 2:
+"sFFT uses Gaussian and Dolph-Chebyshev filter").  A Gaussian truncated to
+``w`` taps has a Gaussian spectrum, so both the spectral main-lobe width and
+the truncation error are controlled analytically:
+
+* a time-domain standard deviation ``s`` gives a frequency-domain standard
+  deviation ``n / (2*pi*s)`` bins;
+* requiring the spectrum to fall to ``delta`` at ``lobefrac * n`` bins gives
+  ``s = sqrt(2*ln(1/delta)) / (2*pi*lobefrac)``;
+* truncating the tails where they fall to ``delta`` gives support
+  ``w = 2*s*sqrt(2*ln(1/delta)) = 2*ln(1/delta) / (pi*lobefrac)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import FilterDesignError
+
+__all__ = ["gaussian_support", "gaussian_window"]
+
+
+def gaussian_support(lobefrac: float, tolerance: float) -> int:
+    """Minimal tap count for a Gaussian meeting the (lobefrac, delta) spec."""
+    if not 0 < lobefrac < 0.5:
+        raise FilterDesignError(f"lobefrac must be in (0, 0.5), got {lobefrac}")
+    if not 0 < tolerance < 1:
+        raise FilterDesignError(f"tolerance must be in (0, 1), got {tolerance}")
+    w = int(math.ceil(2.0 * math.log(1.0 / tolerance) / (math.pi * lobefrac)))
+    return max(w, 3)
+
+
+def gaussian_window(w: int, lobefrac: float, tolerance: float) -> np.ndarray:
+    """Gaussian taps of length ``w`` centered at ``(w-1)/2``, peak 1.
+
+    The standard deviation is set from the spectral spec so that the
+    (untruncated) spectrum reaches ``tolerance`` at offset ``lobefrac * n``;
+    truncation to ``w`` taps adds at most ~``tolerance`` extra leakage when
+    ``w >= gaussian_support(lobefrac, tolerance)``.
+    """
+    if w < 3:
+        raise FilterDesignError(f"window needs at least 3 taps, got {w}")
+    if not 0 < lobefrac < 0.5:
+        raise FilterDesignError(f"lobefrac must be in (0, 0.5), got {lobefrac}")
+    if not 0 < tolerance < 1:
+        raise FilterDesignError(f"tolerance must be in (0, 1), got {tolerance}")
+    s = math.sqrt(2.0 * math.log(1.0 / tolerance)) / (2.0 * math.pi * lobefrac)
+    t = np.arange(w, dtype=np.float64) - (w - 1) / 2.0
+    return np.exp(-(t * t) / (2.0 * s * s))

@@ -1,0 +1,14 @@
+"""cusFFT on the simulated GPU: kernels, configurations, driver."""
+
+from .config import ATOMIC_HISTOGRAM, BASELINE, OPTIMIZED, CusfftConfig
+from .cusfft import CusFFT, CusfftRun, cusfft
+
+__all__ = [
+    "ATOMIC_HISTOGRAM",
+    "BASELINE",
+    "OPTIMIZED",
+    "CusfftConfig",
+    "CusFFT",
+    "CusfftRun",
+    "cusfft",
+]

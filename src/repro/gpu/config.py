@@ -1,0 +1,100 @@
+"""cusFFT variant configuration.
+
+The paper evaluates two builds — the *baseline* of Section IV and the
+*optimized* build of Section V — and attributes the ~2x gap to the
+asynchronous data-layout transformation and the fast k-selection.  Each
+optimization is an independent toggle here so the ablation benchmarks can
+price them one at a time; an extra toggle exposes the rejected
+atomic-histogram binning (Section IV-C's strawman) for the loop-partition
+ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ParameterError
+
+__all__ = ["CusfftConfig", "BASELINE", "OPTIMIZED", "ATOMIC_HISTOGRAM"]
+
+
+@dataclass(frozen=True)
+class CusfftConfig:
+    """Feature toggles for one cusFFT build.
+
+    Attributes
+    ----------
+    loop_partition:
+        Bin with Algorithm 2 (thread-per-bucket, collision-free).  When
+        off, binning uses the conventional atomic histogram the paper
+        rejects.
+    layout_transform:
+        Section V-A: split the strided gather into remap + exec kernels on
+        concurrent streams (coalesced execution reads).
+    fast_select:
+        Section V-B: threshold k-selection instead of Thrust sort&select.
+    batched_fft:
+        Step 3's batched cuFFT (one call for all ``L`` loops) instead of
+        ``L`` separate transforms.
+    use_ldg:
+        Route the signal gathers through Kepler's read-only data cache
+        (``__ldg``), shrinking each scattered load to a 32-byte
+        transaction.  The paper describes the read-only path (Section
+        II-A) but does not use it; this is the reproduction's beyond-the-
+        paper experiment ``ext-ldg``.
+    num_streams:
+        CUDA streams available to the layout transformation (the K20x
+        supports up to 32 concurrent kernels).
+    threads_per_block:
+        Block size for the hand-written kernels.
+    """
+
+    loop_partition: bool = True
+    layout_transform: bool = False
+    fast_select: bool = False
+    batched_fft: bool = True
+    use_ldg: bool = False
+    num_streams: int = 32
+    threads_per_block: int = 256
+
+    def __post_init__(self) -> None:
+        if self.num_streams < 1:
+            raise ParameterError(f"num_streams must be >= 1, got {self.num_streams}")
+        if not 32 <= self.threads_per_block <= 1024:
+            raise ParameterError(
+                f"threads_per_block must be in [32, 1024], got {self.threads_per_block}"
+            )
+        if self.layout_transform and not self.loop_partition:
+            raise ParameterError(
+                "the layout transformation presumes loop-partition binning"
+            )
+
+    def label(self) -> str:
+        """Short human-readable variant name."""
+        if self == OPTIMIZED:
+            return "cusFFT-opt"
+        if self == BASELINE:
+            return "cusFFT-base"
+        flags = [
+            "part" if self.loop_partition else "atomic",
+            "layout" if self.layout_transform else "strided",
+            "fastsel" if self.fast_select else "sort",
+            "batched" if self.batched_fft else "looped",
+        ]
+        if self.use_ldg:
+            flags.append("ldg")
+        return "cusFFT[" + ",".join(flags) + "]"
+
+    def with_(self, **changes) -> "CusfftConfig":
+        """Functional update (ablation helper)."""
+        return replace(self, **changes)
+
+
+#: Section IV baseline: loop partition + Thrust sort&select, no layout split.
+BASELINE = CusfftConfig()
+
+#: Section V optimized build: + async layout transform + fast k-selection.
+OPTIMIZED = CusfftConfig(layout_transform=True, fast_select=True)
+
+#: Section IV-C strawman: conventional atomic-histogram binning.
+ATOMIC_HISTOGRAM = CusfftConfig(loop_partition=False)

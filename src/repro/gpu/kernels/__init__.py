@@ -1,0 +1,46 @@
+"""cusFFT device kernels: functional bodies + cost specifications."""
+
+from .estimate import estimate_functional, estimate_spec
+from .layout import (
+    bin_layout_functional,
+    exec_chunk_functional,
+    exec_spec,
+    remap_chunk_functional,
+    remap_spec,
+)
+from .perm_filter import (
+    atomic_spec,
+    bin_atomic_functional,
+    bin_partition_functional,
+    gather_addresses,
+    partition_spec,
+)
+from .recover import recovery_functional, recovery_spec, score_memset_spec
+from .select import (
+    fast_select_functional,
+    fast_select_spec,
+    sort_select_functional,
+    sort_select_specs,
+)
+
+__all__ = [
+    "estimate_functional",
+    "estimate_spec",
+    "bin_layout_functional",
+    "exec_chunk_functional",
+    "exec_spec",
+    "remap_chunk_functional",
+    "remap_spec",
+    "atomic_spec",
+    "bin_atomic_functional",
+    "bin_partition_functional",
+    "gather_addresses",
+    "partition_spec",
+    "recovery_functional",
+    "recovery_spec",
+    "score_memset_spec",
+    "fast_select_functional",
+    "fast_select_spec",
+    "sort_select_functional",
+    "sort_select_specs",
+]

@@ -1,0 +1,62 @@
+"""Magnitude-reconstruction kernel (paper Algorithm 5).
+
+One thread per recovered frequency: for each of the ``L`` loops it computes
+the permuted position, the bucket it hashed to, the in-bucket offset, and
+the filter-compensated estimate; it then sorts its private ``L``-element
+magnitude array and takes the median.  Bucket and filter-response reads are
+data-dependent (random); the per-thread insertion sort is pure arithmetic.
+
+Functional estimation reuses :mod:`repro.core.estimation` (median of real
+and imaginary parts separately).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.estimation import estimate_values
+from ...core.permutation import Permutation
+from ...cusim.kernel import KernelSpec
+from ...cusim.memory import AccessPattern, GlobalAccess
+from ...filters.base import FlatFilter
+
+__all__ = ["estimate_functional", "estimate_spec"]
+
+_COMPLEX = 16
+
+
+def estimate_functional(
+    frequencies: np.ndarray,
+    bucket_rows: np.ndarray,
+    permutations: list[Permutation],
+    filt: FlatFilter,
+    B: int,
+) -> np.ndarray:
+    """Median-of-loops value reconstruction; identical to the core reference."""
+    return estimate_values(frequencies, bucket_rows, permutations, filt, B)
+
+
+def estimate_spec(
+    *, hits: int, loops: int, threads_per_block: int = 256
+) -> KernelSpec:
+    """Cost spec of the Algorithm-5 kernel (``hits`` threads, ``loops`` rounds).
+
+    Per (thread, loop): one random bucket read, one random filter-frequency
+    read, ~30 FLOPs of index/phase math; plus an ``O(L log L)`` in-register
+    median sort per thread.
+    """
+    hits = max(1, hits)
+    reads = hits * loops
+    sort_flops = loops * max(1, int(np.log2(max(2, loops)))) * 4.0
+    return KernelSpec(
+        name="cusfft_mag_reconstruction",
+        grid_blocks=max(1, -(-hits // threads_per_block)),
+        threads_per_block=threads_per_block,
+        flops_per_thread=30.0 * loops + sort_flops,
+        accesses=(
+            GlobalAccess(AccessPattern.RANDOM, reads, _COMPLEX),  # buckets
+            GlobalAccess(AccessPattern.RANDOM, reads, _COMPLEX),  # filter freq
+            GlobalAccess(AccessPattern.COALESCED, hits, 24, is_write=True),
+        ),
+        dependent_rounds=max(1, loops),
+    )

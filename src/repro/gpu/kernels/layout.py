@@ -1,0 +1,115 @@
+"""Asynchronous data-layout transformation (paper Section V-A, Figure 4).
+
+The Algorithm-2 kernel's signal gather is data-dependent (``sigma`` is drawn
+at run time), so no compile-time reordering can coalesce it.  The paper's
+fix splits each round of the loop partition into two kernels:
+
+* **remap** — gathers the round's ``B`` permuted signal elements into a
+  fresh contiguous chunk ``A'`` (random reads, coalesced writes);
+* **exec** — performs the multiply-accumulate reading ``A'`` coalesced.
+
+Remap kernels for different chunks are independent, so they spread across
+CUDA streams and overlap both each other and the exec kernels — the remap
+cost hides behind execution.  Exec kernels accumulate into the same bucket
+array, so they serialize on one dedicated stream, each gated on its chunk's
+remap event (exactly Figure 4's dependency shape).
+
+Functionally the result is identical to the fused kernel; tests assert it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.permutation import Permutation
+from ...cusim.kernel import KernelSpec
+from ...cusim.memory import AccessPattern, GlobalAccess
+from ...filters.base import FlatFilter
+
+__all__ = [
+    "remap_chunk_functional",
+    "exec_chunk_functional",
+    "bin_layout_functional",
+    "remap_spec",
+    "exec_spec",
+]
+
+_COMPLEX = 16
+
+
+def remap_chunk_functional(
+    x: np.ndarray, perm: Permutation, chunk: int, B: int
+) -> np.ndarray:
+    """Remap kernel body: gather round ``chunk``'s ``B`` signal elements.
+
+    ``A'[tid] = x[((tid + B*chunk) * sigma + tau) % n]``.
+    """
+    tid = np.arange(B, dtype=np.int64)
+    idx = ((tid + B * chunk) * perm.sigma + perm.tau) % perm.n
+    return x[idx]
+
+
+def exec_chunk_functional(
+    remapped: np.ndarray,
+    filt: FlatFilter,
+    chunk: int,
+    B: int,
+    buckets: np.ndarray,
+) -> None:
+    """Exec kernel body: coalesced multiply-accumulate of one chunk.
+
+    ``buckets[tid] += A'[tid] * filter[tid + B*chunk]`` in place.
+    """
+    lo = B * chunk
+    taps = filt.time[lo : lo + B]
+    if taps.size < B:
+        padded = np.zeros(B, dtype=np.complex128)
+        padded[: taps.size] = taps
+        taps = padded
+    buckets += remapped * taps
+
+
+def bin_layout_functional(
+    x: np.ndarray, filt: FlatFilter, B: int, perm: Permutation
+) -> np.ndarray:
+    """Full layout-transformed binning for one loop (all chunks)."""
+    rounds = -(-filt.width // B)
+    buckets = np.zeros(B, dtype=np.complex128)
+    for chunk in range(rounds):
+        remapped = remap_chunk_functional(x, perm, chunk, B)
+        exec_chunk_functional(remapped, filt, chunk, B, buckets)
+    return buckets
+
+
+def remap_spec(
+    *, B: int, threads_per_block: int = 256, use_ldg: bool = False
+) -> KernelSpec:
+    """Cost spec of one remap kernel (one chunk of ``B`` elements)."""
+    return KernelSpec(
+        name="cusfft_layout_remap",
+        grid_blocks=max(1, -(-B // threads_per_block)),
+        threads_per_block=threads_per_block,
+        flops_per_thread=4.0,  # index arithmetic
+        accesses=(
+            GlobalAccess(AccessPattern.RANDOM, B, _COMPLEX, use_ldg=use_ldg),
+            GlobalAccess(AccessPattern.COALESCED, B, _COMPLEX, is_write=True),  # A'
+        ),
+        dependent_rounds=1,
+    )
+
+
+def exec_spec(*, B: int, threads_per_block: int = 256) -> KernelSpec:
+    """Cost spec of one exec kernel (coalesced multiply-accumulate)."""
+    return KernelSpec(
+        name="cusfft_layout_exec",
+        grid_blocks=max(1, -(-B // threads_per_block)),
+        threads_per_block=threads_per_block,
+        flops_per_thread=8.0,
+        accesses=(
+            GlobalAccess(AccessPattern.COALESCED, B, _COMPLEX),  # A'
+            GlobalAccess(AccessPattern.COALESCED, B, _COMPLEX),  # filter taps
+            GlobalAccess(AccessPattern.COALESCED, B, _COMPLEX),  # buckets r/w
+            GlobalAccess(AccessPattern.COALESCED, B, _COMPLEX, is_write=True),
+        ),
+        dependent_rounds=1,
+    )

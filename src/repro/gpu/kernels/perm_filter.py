@@ -1,0 +1,111 @@
+"""Permutation + filter + binning kernels (paper Algorithms 1-2).
+
+Two device formulations of the histogram-style fold:
+
+* :func:`partition_spec` — Algorithm 2's loop partition: one thread per
+  bucket, ``w/B`` rounds each, no atomics.  The signal gather
+  ``signal[((tid + B*j) * sigma) % n]`` is data-dependent — effectively
+  random at warp granularity — which is the non-coalesced access the
+  layout transformation later fixes.
+* :func:`atomic_spec` — the conventional histogram the paper rejects: one
+  thread per filter tap, ``atomicAdd`` into the shared bucket array (two
+  atomics per tap: real and imaginary word).
+
+Functional bodies reuse the core binning implementations (bit-identical
+answers); an address-trace helper feeds the measured-coalescing tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.binning import bin_loop_partition, bin_vectorized
+from ...core.permutation import Permutation, permuted_indices
+from ...cusim.atomics import AtomicProfile
+from ...cusim.kernel import KernelSpec
+from ...cusim.memory import AccessPattern, GlobalAccess
+from ...filters.base import FlatFilter
+
+__all__ = [
+    "bin_partition_functional",
+    "bin_atomic_functional",
+    "partition_spec",
+    "atomic_spec",
+    "gather_addresses",
+]
+
+_COMPLEX = 16
+
+
+def bin_partition_functional(
+    x: np.ndarray, filt: FlatFilter, B: int, perm: Permutation
+) -> np.ndarray:
+    """Functional loop-partition binning (Algorithm 2 semantics)."""
+    return bin_loop_partition(x, filt, B, perm)
+
+
+def bin_atomic_functional(
+    x: np.ndarray, filt: FlatFilter, B: int, perm: Permutation
+) -> np.ndarray:
+    """Functional atomic-histogram binning (same fold, thread-per-tap).
+
+    ``np.add.at``-equivalent scatter — numerically identical to the
+    vectorized fold because complex addition is the same in any grouping
+    (tested against the serial reference to fp tolerance).
+    """
+    return bin_vectorized(x, filt, B, perm)
+
+
+def gather_addresses(perm: Permutation, width: int) -> np.ndarray:
+    """Byte addresses the gather touches, in thread order (trace helper)."""
+    return permuted_indices(perm, width) * _COMPLEX
+
+
+def partition_spec(
+    *, B: int, rounds: int, threads_per_block: int = 256, use_ldg: bool = False
+) -> KernelSpec:
+    """Cost spec for one loop's Algorithm-2 kernel.
+
+    ``B`` threads, each running ``rounds`` iterations: a random signal
+    gather + a coalesced filter-tap read per iteration, one coalesced
+    bucket store at the end.  The per-thread accumulator chain makes the
+    iterations' loads independent (``myBucket +=`` is associative), so
+    ``dependent_rounds`` models only the loop-carried accumulate-latency,
+    softened by MLP in the cost model.
+    """
+    w = B * rounds
+    return KernelSpec(
+        name="cusfft_perm_filter_partition",
+        grid_blocks=max(1, -(-B // threads_per_block)),
+        threads_per_block=threads_per_block,
+        flops_per_thread=8.0 * rounds,
+        accesses=(
+            GlobalAccess(AccessPattern.RANDOM, w, _COMPLEX, use_ldg=use_ldg),
+            GlobalAccess(AccessPattern.COALESCED, w, _COMPLEX),         # filter
+            GlobalAccess(AccessPattern.COALESCED, B, _COMPLEX, is_write=True),
+        ),
+        dependent_rounds=rounds,
+    )
+
+
+def atomic_spec(
+    *, B: int, width: int, threads_per_block: int = 256, use_ldg: bool = False
+) -> KernelSpec:
+    """Cost spec for the rejected atomic-histogram kernel.
+
+    One thread per filter tap; every tap issues two 8-byte ``atomicAdd``
+    operations into ``B`` bucket slots.  With ``width >> B`` the conflict
+    chains are long — exactly the bottleneck Section IV-C describes.
+    """
+    return KernelSpec(
+        name="cusfft_perm_filter_atomic",
+        grid_blocks=max(1, -(-width // threads_per_block)),
+        threads_per_block=threads_per_block,
+        flops_per_thread=8.0,
+        accesses=(
+            GlobalAccess(AccessPattern.RANDOM, width, _COMPLEX, use_ldg=use_ldg),
+            GlobalAccess(AccessPattern.COALESCED, width, _COMPLEX),     # filter
+        ),
+        atomics=AtomicProfile(ops=2 * width, distinct_addresses=2 * B),
+        dependent_rounds=1,
+    )

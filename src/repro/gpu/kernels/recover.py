@@ -1,0 +1,85 @@
+"""Location-recovery kernels (paper Algorithm 4).
+
+One thread per selected bucket walks its ``n/B`` candidate region, reverses
+the permutation, and ``atomicAdd``s into the dense ``score[n]`` array; a
+second atomic counter appends frequencies whose score crosses the vote
+threshold.  The score array must be zeroed per transform — an ``O(n)``
+memset whose bandwidth cost is the small super-linear term that bends the
+cusFFT-vs-PsFFT speedup back down at ``n = 2^27`` (Figure 5(e); PsFFT uses
+per-thread hash maps instead and does not pay it).
+
+Functional voting reuses :mod:`repro.core.recovery`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.permutation import Permutation
+from ...core.recovery import recover_locations
+from ...cusim.atomics import AtomicProfile
+from ...cusim.kernel import KernelSpec
+from ...cusim.memory import AccessPattern, GlobalAccess
+
+__all__ = ["recovery_functional", "score_memset_spec", "recovery_spec"]
+
+
+def recovery_functional(
+    selected_per_loop: list[np.ndarray],
+    permutations: list[Permutation],
+    B: int,
+    vote_threshold: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Voting across loops; identical to the core reference."""
+    return recover_locations(selected_per_loop, permutations, B, vote_threshold)
+
+
+def score_memset_spec(*, n: int, threads_per_block: int = 256) -> KernelSpec:
+    """Zero the ``score[n]`` array (int16) — one coalesced store sweep.
+
+    Each thread writes one 128-bit vector (8 scores), the standard memset
+    idiom, so a warp's 512 bytes fill its transactions completely.
+    """
+    vec_elems = max(1, n // 8)
+    return KernelSpec(
+        name="cusfft_score_memset",
+        grid_blocks=max(1, -(-n // (threads_per_block * 8))),
+        threads_per_block=threads_per_block,
+        flops_per_thread=0.0,
+        accesses=(
+            GlobalAccess(AccessPattern.COALESCED, vec_elems, 16, is_write=True),
+        ),
+        dependent_rounds=1,
+    )
+
+
+def recovery_spec(
+    *,
+    selected: int,
+    n_div_B: int,
+    n: int,
+    threads_per_block: int = 256,
+) -> KernelSpec:
+    """Cost spec of one loop's Algorithm-4 kernel.
+
+    ``selected`` threads, each issuing ``n/B`` vote atomics.  Votes scatter
+    across the whole score array (the reverse permutation decorrelates
+    them), so conflicts are rare: distinct addresses ~= total votes capped
+    by ``n``.  Atomic traffic moves through the L2 in 32-byte sectors and
+    is priced entirely by the device's atomic throughput (charging full
+    128-byte gather transactions on top would double-count — atomics never
+    touch the L1 path on Kepler).
+    """
+    votes = selected * n_div_B
+    return KernelSpec(
+        name="cusfft_loc_recovery",
+        grid_blocks=max(1, -(-selected // threads_per_block)),
+        threads_per_block=threads_per_block,
+        flops_per_thread=10.0 * n_div_B,
+        accesses=(
+            # Bucket index + permutation constants per thread (tiny).
+            GlobalAccess(AccessPattern.COALESCED, max(1, selected), 8),
+        ),
+        atomics=AtomicProfile(ops=votes, distinct_addresses=min(n, max(1, votes))),
+        dependent_rounds=max(1, n_div_B),
+    )

@@ -1,0 +1,5 @@
+"""Shared performance-model plumbing: per-step operation counts."""
+
+from .counts import StepCounts, sfft_step_counts
+
+__all__ = ["StepCounts", "sfft_step_counts"]

@@ -1,0 +1,93 @@
+"""Analytic operation counts for one sparse transform.
+
+Both performance models — the simulated GPU (cusFFT) and the modeled
+multicore CPU (PsFFT) — price the *same* algorithm, so the operation counts
+live in one place and only the machine models differ.  Counts are derived
+purely from :class:`~repro.core.parameters.SfftParameters` (the filter
+support uses the same closed-form sizing as the filter constructor, so no
+O(n) work happens here), which is what lets paper-scale sweeps
+(n up to 2^27) evaluate instantly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.parameters import SfftParameters
+from ..filters.dolph_chebyshev import chebyshev_support
+from ..filters.gaussian import gaussian_support
+
+__all__ = ["StepCounts", "sfft_step_counts"]
+
+_COMPLEX = 16  # bytes per complex128
+
+
+@dataclass(frozen=True)
+class StepCounts:
+    """Operation counts per sFFT pipeline step for one transform.
+
+    All counts are totals across the ``L`` loops.
+    """
+
+    n: int
+    k: int
+    B: int
+    loops: int
+    filter_width: int          # taps per loop (padded to a multiple of B)
+    rounds: int                # filter_width // B
+    gathers: int               # strided/random signal reads (perm+filter)
+    filter_flops: int          # complex MAdds in perm+filter (8 flops each)
+    fft_batch: int             # batched B-point transforms
+    cutoff_elements: int       # bucket magnitudes scanned
+    selected_buckets: int      # cutoff survivors (total across loops)
+    votes: int                 # scatter-add votes in location recovery
+    expected_hits: int         # coefficients surviving the vote threshold
+    estimation_ops: int        # per-(hit, loop) reconstruction bodies
+    score_bytes: int           # the dense score[n] working set (votes)
+    signal_bytes: int          # input signal size on device/host
+    bucket_bytes: int          # the (L, B) bucket working set
+
+    @property
+    def useful_gather_bytes(self) -> int:
+        """Bytes of signal actually consumed by perm+filter."""
+        return self.gathers * _COMPLEX
+
+
+def sfft_step_counts(params: SfftParameters) -> StepCounts:
+    """Derive :class:`StepCounts` from resolved transform parameters."""
+    n, k, B, L = params.n, params.k, params.B, params.loops
+
+    if params.window == "gaussian":
+        w = gaussian_support(params.lobefrac, params.tolerance)
+    else:
+        w = chebyshev_support(params.lobefrac, params.tolerance)
+    w = min(w, n)
+    w = -(-w // B) * B  # padded to whole rounds, as the plan does
+    rounds = w // B
+
+    v_loops = params.voting_loops
+    gathers = w * L
+    filter_flops = w * L           # one complex MAdd per tap (8 real flops)
+    votes = v_loops * params.select_count * (n // B)
+    # Voting keeps ~k real coefficients plus a small overlap fringe.
+    expected_hits = min(n, math.ceil(1.25 * k))
+    return StepCounts(
+        n=n,
+        k=k,
+        B=B,
+        loops=L,
+        filter_width=w,
+        rounds=rounds,
+        gathers=gathers,
+        filter_flops=filter_flops,
+        fft_batch=L,
+        cutoff_elements=B * v_loops,
+        selected_buckets=params.select_count * v_loops,
+        votes=votes,
+        expected_hits=expected_hits,
+        estimation_ops=expected_hits * L,
+        score_bytes=2 * n,          # int16 score array
+        signal_bytes=n * _COMPLEX,
+        bucket_bytes=L * B * _COMPLEX,
+    )

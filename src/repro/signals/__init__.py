@@ -1,0 +1,27 @@
+"""Workload generation: exactly-sparse signals, noise, domain scenes."""
+
+from .noise import add_awgn, signal_power, snr_db
+from .sparse import SparseSignal, make_sparse_signal, random_support
+from .workloads import (
+    ChannelOccupancy,
+    make_gps_correlation,
+    make_harmonic_tones,
+    make_offgrid_tones,
+    make_seismic_reflectivity,
+    make_wideband_channels,
+)
+
+__all__ = [
+    "add_awgn",
+    "signal_power",
+    "snr_db",
+    "SparseSignal",
+    "make_sparse_signal",
+    "random_support",
+    "ChannelOccupancy",
+    "make_gps_correlation",
+    "make_harmonic_tones",
+    "make_offgrid_tones",
+    "make_seismic_reflectivity",
+    "make_wideband_channels",
+]

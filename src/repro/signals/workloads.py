@@ -1,0 +1,257 @@
+"""Domain workload generators for the example applications.
+
+The paper's introduction motivates sFFT with audio, seismic, GPS and
+cognitive-radio workloads — signals whose spectra are (approximately) sparse
+for structural reasons.  These generators produce such signals *with ground
+truth attached*, so the examples can both demonstrate the API and check the
+answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..utils.rng import RngLike, ensure_rng
+from ..utils.validation import check_positive_int
+from .noise import add_awgn
+from .sparse import SparseSignal, make_sparse_signal
+
+__all__ = [
+    "ChannelOccupancy",
+    "make_wideband_channels",
+    "make_harmonic_tones",
+    "make_gps_correlation",
+    "make_offgrid_tones",
+    "make_seismic_reflectivity",
+]
+
+
+@dataclass(frozen=True)
+class ChannelOccupancy:
+    """Ground truth for a wideband spectrum-sensing scene.
+
+    Attributes
+    ----------
+    signal:
+        The generated sparse signal (time samples + exact spectrum).
+    channel_edges:
+        ``(num_channels + 1,)`` frequency-bin channel boundaries.
+    occupied:
+        Boolean per-channel occupancy mask.
+    """
+
+    signal: SparseSignal
+    channel_edges: np.ndarray
+    occupied: np.ndarray
+
+
+def make_wideband_channels(
+    n: int,
+    num_channels: int,
+    occupancy: float,
+    *,
+    tones_per_channel: int = 4,
+    snr: float | None = 40.0,
+    seed: RngLike = None,
+) -> ChannelOccupancy:
+    """Cognitive-radio scene: a few occupied channels in a wide band.
+
+    Divides ``[0, n)`` into ``num_channels`` equal channels, marks a fraction
+    ``occupancy`` of them as occupied, and places ``tones_per_channel``
+    carriers (random in-channel frequencies, random phases) in each occupied
+    channel.  Optional AWGN at ``snr`` dB models the sensing front end.
+    """
+    n = check_positive_int(n, "n")
+    num_channels = check_positive_int(num_channels, "num_channels")
+    if n % num_channels != 0:
+        raise ParameterError(f"num_channels={num_channels} must divide n={n}")
+    if not 0.0 < occupancy <= 1.0:
+        raise ParameterError(f"occupancy must be in (0, 1], got {occupancy}")
+    rng = ensure_rng(seed)
+
+    width = n // num_channels
+    n_occ = max(1, round(occupancy * num_channels))
+    occ_idx = np.sort(rng.choice(num_channels, size=n_occ, replace=False))
+    occupied = np.zeros(num_channels, dtype=bool)
+    occupied[occ_idx] = True
+
+    locs: list[int] = []
+    for c in occ_idx:
+        # Keep carriers off channel edges so detection maps cleanly.
+        lo = c * width + max(1, width // 8)
+        hi = (c + 1) * width - max(1, width // 8)
+        locs.extend(int(v) for v in rng.choice(np.arange(lo, hi), size=min(tones_per_channel, hi - lo), replace=False))
+    locs_arr = np.unique(np.asarray(locs, dtype=np.int64))
+
+    sig = make_sparse_signal(n, locs_arr.size, seed=rng, locations=locs_arr)
+    if snr is not None:
+        noisy, _ = add_awgn(sig.time, snr, seed=rng)
+        sig = sig.with_time(noisy)
+    edges = np.arange(num_channels + 1, dtype=np.int64) * width
+    return ChannelOccupancy(signal=sig, channel_edges=edges, occupied=occupied)
+
+
+def make_harmonic_tones(
+    n: int,
+    fundamental: int,
+    num_harmonics: int,
+    *,
+    decay: float = 0.7,
+    snr: float | None = None,
+    seed: RngLike = None,
+) -> SparseSignal:
+    """Audio-like harmonic stack: fundamental plus decaying overtones.
+
+    Coefficient magnitudes decay geometrically by ``decay`` per harmonic —
+    the classic "musical note" spectrum, sparse with known structure.
+    """
+    n = check_positive_int(n, "n")
+    fundamental = check_positive_int(fundamental, "fundamental")
+    num_harmonics = check_positive_int(num_harmonics, "num_harmonics")
+    if fundamental * num_harmonics >= n:
+        raise ParameterError(
+            f"{num_harmonics} harmonics of {fundamental} exceed the band (n={n})"
+        )
+    rng = ensure_rng(seed)
+    h = np.arange(1, num_harmonics + 1, dtype=np.int64)
+    locs = h * fundamental
+    mags = n * decay ** (h - 1)
+    phases = rng.uniform(0, 2 * np.pi, size=num_harmonics)
+    vals = mags * np.exp(1j * phases)
+    sig = make_sparse_signal(n, num_harmonics, locations=locs, values=vals)
+    if snr is not None:
+        noisy, _ = add_awgn(sig.time, snr, seed=rng)
+        sig = sig.with_time(noisy)
+    return sig
+
+
+def make_gps_correlation(
+    n: int,
+    code_delay: int,
+    doppler_bin: int,
+    *,
+    code_length: int | None = None,
+    snr: float = 20.0,
+    seed: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """GPS-acquisition-style workload (paper ref [19]: "Faster GPS via sFFT").
+
+    GPS acquisition correlates the received signal with a local C/A code
+    replica; the correlation is computed as ``ifft(fft(rx) * conj(fft(code)))``
+    and is *1-sparse-ish*: a single spike at the code delay.  We synthesize
+    the product spectrum directly: returns ``(product_spectrum_time_domain,
+    code, true_delay)`` where running a sparse *inverse* transform (or a
+    forward transform on the conjugate-reversed product) finds the spike.
+
+    Concretely we return the frequency-domain product ``fft(rx)*conj(fft(code))``
+    as a *time-domain* array for the caller to transform: since the
+    correlation (its "spectrum" under a forward DFT, up to reflection) has a
+    dominant coefficient at the delay, sFFT recovers the delay in sub-linear
+    time.
+    """
+    n = check_positive_int(n, "n")
+    if not 0 <= code_delay < n:
+        raise ParameterError(f"code_delay must be in [0, n), got {code_delay}")
+    rng = ensure_rng(seed)
+
+    # Pseudo-random +/-1 spreading code.  The default is a full-length,
+    # non-repeating PN sequence (P-code style), whose circular correlation
+    # is a single spike — exactly 1-sparse.  A short repeating code
+    # (C/A-style, e.g. code_length=1023) tiles into a correlation *comb*:
+    # the delay is then only resolvable modulo the code period, and the
+    # product spectrum carries one near-equal peak per repetition.
+    if code_length is None:
+        code_length = n
+    chips = rng.integers(0, 2, size=code_length) * 2 - 1
+    reps = -(-n // code_length)
+    code = np.tile(chips, reps)[:n].astype(np.float64)
+
+    doppler = np.exp(2j * np.pi * doppler_bin * np.arange(n) / n)
+    rx = np.roll(code, code_delay) * doppler
+    rx, _ = add_awgn(rx, snr, seed=rng)
+
+    # Acquisition tests one Doppler hypothesis at a time; at the correct
+    # hypothesis the receiver derotates before correlating.  Correlation:
+    # corr = ifft(fft(rx_derotated) * conj(fft(code))) — a single spike at
+    # the code delay.  We hand back the *product* so the example can
+    # sparse-transform it.
+    derotated = rx * np.conj(doppler)
+    product = np.fft.fft(derotated) * np.conj(np.fft.fft(code))
+    return product, code, code_delay
+
+
+def make_seismic_reflectivity(
+    n: int,
+    num_reflectors: int,
+    *,
+    wavelet_peak_bin: int | None = None,
+    snr: float | None = 30.0,
+    seed: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seismic trace: sparse reflectivity convolved with a Ricker wavelet.
+
+    Returns ``(trace, reflector_times)``.  The *trace itself* is sparse in
+    time, so its spectrum-of-the-spectrum trick applies: examples use sFFT on
+    ``fft(trace)`` to localize reflectors — the dual-domain use the paper's
+    Shell sponsorship motivates (seismic processing).
+    """
+    n = check_positive_int(n, "n")
+    num_reflectors = check_positive_int(num_reflectors, "num_reflectors")
+    rng = ensure_rng(seed)
+    if wavelet_peak_bin is None:
+        wavelet_peak_bin = max(4, n // 64)
+
+    times = np.sort(rng.choice(n, size=num_reflectors, replace=False))
+    amps = rng.uniform(0.5, 1.0, size=num_reflectors) * rng.choice([-1.0, 1.0], size=num_reflectors)
+    reflectivity = np.zeros(n)
+    reflectivity[times] = amps
+
+    # Ricker wavelet designed in frequency: f^2 * exp(-f^2/f0^2) band-pass.
+    f = np.fft.fftfreq(n) * n
+    f0 = float(wavelet_peak_bin)
+    wavelet_spec = (f / f0) ** 2 * np.exp(1.0 - (f / f0) ** 2)
+    trace = np.fft.ifft(np.fft.fft(reflectivity) * wavelet_spec).real
+    if snr is not None:
+        noisy, _ = add_awgn(trace.astype(np.complex128), snr, seed=rng)
+        trace = noisy.real
+    return trace, times
+
+
+def make_offgrid_tones(
+    n: int,
+    k: int,
+    grid_offset: float,
+    *,
+    min_separation: int | None = None,
+    seed: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tones displaced off the DFT grid by ``grid_offset`` bins.
+
+    Exactly-sparse models assume integer frequencies; real tones sit
+    anywhere, and a displacement of ``delta`` bins smears each one into a
+    Dirichlet tail (~ |sinc|) across the whole spectrum — the classic
+    leakage stress for sparse transforms.  Returns ``(time_signal,
+    true_frequencies_as_floats)``; with ``grid_offset = 0`` this degenerates
+    to an exactly sparse signal.
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if not 0.0 <= grid_offset < 1.0:
+        raise ParameterError(
+            f"grid_offset must be in [0, 1), got {grid_offset}"
+        )
+    rng = ensure_rng(seed)
+    sep = min_separation if min_separation is not None else max(1, n // (8 * k))
+    from .sparse import random_support
+
+    base = random_support(n, k, rng, min_separation=sep)
+    freqs = base.astype(np.float64) + grid_offset
+    t = np.arange(n)
+    phases = rng.uniform(0, 2 * np.pi, size=k)
+    x = np.zeros(n, dtype=np.complex128)
+    for f, ph in zip(freqs, phases):
+        x += np.exp(2j * np.pi * (f * t / n) + 1j * ph)
+    return x, freqs

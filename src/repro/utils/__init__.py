@@ -1,0 +1,43 @@
+"""Shared low-level utilities: modular arithmetic, RNG plumbing, tables."""
+
+from .modmath import (
+    gcd,
+    ilog2,
+    is_power_of_two,
+    mod_inverse,
+    mod_mult_range,
+    next_power_of_two,
+    random_invertible,
+    random_odd,
+)
+from .rng import RngLike, ensure_rng, spawn
+from .tables import format_ratio, format_seconds, format_table
+from .validation import (
+    as_complex_signal,
+    check_in_range,
+    check_positive_int,
+    check_power_of_two,
+    require,
+)
+
+__all__ = [
+    "gcd",
+    "ilog2",
+    "is_power_of_two",
+    "mod_inverse",
+    "mod_mult_range",
+    "next_power_of_two",
+    "random_invertible",
+    "random_odd",
+    "RngLike",
+    "ensure_rng",
+    "spawn",
+    "format_ratio",
+    "format_seconds",
+    "format_table",
+    "as_complex_signal",
+    "check_in_range",
+    "check_positive_int",
+    "check_power_of_two",
+    "require",
+]

@@ -1,0 +1,99 @@
+"""Terminal line charts (log or linear axes), dependency-free.
+
+The experiment CLI renders its sweeps as text tables; for the figures a
+picture helps — these charts draw multiple series on a character canvas,
+so ``python -m repro.experiments fig5a --plot`` resembles the paper's
+log-log plot without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["line_chart"]
+
+_MARKERS = "ox+*#%@&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    out = []
+    for v in values:
+        if log:
+            if v <= 0:
+                raise ParameterError("log axis requires positive values")
+            out.append(math.log10(v))
+        else:
+            out.append(float(v))
+    return out
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = True,
+    logy: bool = True,
+    title: str | None = None,
+    ylabel: str = "",
+) -> str:
+    """Plot ``series`` (name -> y-values) against shared ``x`` values.
+
+    Each series gets a marker from a fixed cycle; the y-axis prints the
+    data range at top and bottom, the x-axis its endpoints.  Axes may be
+    logarithmic (the default, matching the paper's figures).
+    """
+    if not series:
+        raise ParameterError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ParameterError(f"series {name!r} length != x length")
+    if len(x) < 2:
+        raise ParameterError("need at least two x points")
+
+    tx = _transform(x, logx)
+    tys = {name: _transform(ys, logy) for name, ys in series.items()}
+    ymin = min(min(v) for v in tys.values())
+    ymax = max(max(v) for v in tys.values())
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(tx), max(tx)
+    if xmax == xmin:
+        raise ParameterError("x values must span a range")
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(tys.items(), _MARKERS):
+        for xi, yi in zip(tx, ys):
+            col = round((xi - xmin) / (xmax - xmin) * (width - 1))
+            row = round((yi - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** ymax:.3g}" if logy else f"{ymax:.3g}"
+    bot_label = f"{10 ** ymin:.3g}" if logy else f"{ymin:.3g}"
+    label_w = max(len(top_label), len(bot_label), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_w)
+        elif i == height - 1:
+            prefix = bot_label.rjust(label_w)
+        elif i == height // 2 and ylabel:
+            prefix = ylabel.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_lo = f"{10 ** xmin:.3g}" if logx else f"{xmin:.3g}"
+    x_hi = f"{10 ** xmax:.3g}" if logx else f"{xmax:.3g}"
+    axis = " " * label_w + " " + x_lo + "-" * max(1, width - len(x_lo) - len(x_hi)) + x_hi
+    lines.append(axis)
+    legend = ", ".join(
+        f"{marker}={name}" for (name, _), marker in zip(tys.items(), _MARKERS)
+    )
+    lines.append(" " * label_w + " legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module renders them as aligned monospace tables so the
+output is directly readable in a terminal or pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_seconds", "format_ratio"]
+
+
+def format_seconds(t: float) -> str:
+    """Human-scale time: picks ns/us/ms/s so columns stay short."""
+    if t != t:  # NaN
+        return "n/a"
+    a = abs(t)
+    if a >= 1.0:
+        return f"{t:.3f} s"
+    if a >= 1e-3:
+        return f"{t * 1e3:.3f} ms"
+    if a >= 1e-6:
+        return f"{t * 1e6:.2f} us"
+    return f"{t * 1e9:.1f} ns"
+
+
+def format_ratio(r: float) -> str:
+    """Speedup-style ratio, e.g. ``14.9x``."""
+    if r != r:
+        return "n/a"
+    return f"{r:.2f}x"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Cells are stringified with ``str``; numeric formatting is the caller's
+    responsibility (use :func:`format_seconds` / :func:`format_ratio`).
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    cols = len(headers)
+    for r in str_rows:
+        if len(r) != cols:
+            raise ValueError(f"row has {len(r)} cells, expected {cols}: {r}")
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), len(sep)))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

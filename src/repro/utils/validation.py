@@ -1,0 +1,71 @@
+"""Argument validation helpers shared across the library.
+
+These exist so that public entry points fail with a clear
+:class:`~repro.errors.ParameterError` naming the offending argument, instead
+of an obscure NumPy broadcast error three layers down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from .modmath import is_power_of_two
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_power_of_two",
+    "check_in_range",
+    "as_complex_signal",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ParameterError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ParameterError(message)
+
+
+def check_positive_int(value, name: str) -> int:
+    """Coerce ``value`` to a positive Python int or raise."""
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be an integer, got {value!r}") from exc
+    if ivalue <= 0 or ivalue != value:
+        raise ParameterError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue
+
+
+def check_power_of_two(value, name: str) -> int:
+    """Coerce ``value`` to a positive power-of-two int or raise."""
+    ivalue = check_positive_int(value, name)
+    if not is_power_of_two(ivalue):
+        raise ParameterError(f"{name} must be a power of two, got {ivalue}")
+    return ivalue
+
+
+def check_in_range(value, name: str, low, high) -> None:
+    """Require ``low <= value <= high`` (inclusive bounds)."""
+    if not (low <= value <= high):
+        raise ParameterError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def as_complex_signal(x, n: int | None = None) -> np.ndarray:
+    """Validate and coerce an input signal to a 1-D complex128 array.
+
+    The sFFT pipeline works in complex double precision throughout (the
+    paper's buckets are complex doubles).  Real inputs are accepted and
+    widened.  When ``n`` is given, the length is checked against it.
+    """
+    arr = np.asarray(x)
+    if arr.ndim != 1:
+        raise ParameterError(f"signal must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ParameterError("signal must be non-empty")
+    if not np.issubdtype(arr.dtype, np.number):
+        raise ParameterError(f"signal must be numeric, got dtype {arr.dtype}")
+    if n is not None and arr.size != n:
+        raise ParameterError(f"signal length {arr.size} != expected n={n}")
+    return np.ascontiguousarray(arr, dtype=np.complex128)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the repro test suite.
+
+Plans are the expensive artifact (filter synthesis does an O(n log n) FFT),
+so a session-scoped cache hands identical plans to every test that asks for
+the same shape — tests must therefore treat plans as immutable (they are
+frozen dataclasses, so mutation raises anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SfftPlan, make_plan
+from repro.signals import SparseSignal, make_sparse_signal
+
+_PLAN_CACHE: dict[tuple, SfftPlan] = {}
+
+
+def cached_plan(n: int, k: int, seed: int = 1234, **overrides) -> SfftPlan:
+    """Session-cached plan factory (importable from conftest)."""
+    key = (n, k, seed, tuple(sorted(overrides.items())))
+    if key not in _PLAN_CACHE:
+        _PLAN_CACHE[key] = make_plan(n, k, seed=seed, **overrides)
+    return _PLAN_CACHE[key]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def plan_small() -> SfftPlan:
+    """A small (n=1024, k=4) plan shared across tests."""
+    return cached_plan(1024, 4)
+
+
+@pytest.fixture
+def plan_medium() -> SfftPlan:
+    """A medium (n=8192, k=16) plan shared across tests."""
+    return cached_plan(8192, 16)
+
+
+@pytest.fixture
+def signal_small() -> SparseSignal:
+    """A 4-sparse signal matching ``plan_small``."""
+    return make_sparse_signal(1024, 4, seed=77)
+
+
+@pytest.fixture
+def signal_medium() -> SparseSignal:
+    """A 16-sparse signal matching ``plan_medium``."""
+    return make_sparse_signal(8192, 16, seed=78)

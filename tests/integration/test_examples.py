@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs end-to-end and validates its own
+answers (each main() asserts internally and returns 0)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str) -> int:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        return module.main()
+    finally:
+        sys.modules.pop(name, None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "spectrum_sensing",
+        "gps_acquisition",
+        "seismic_deconvolution",
+        "profiling_tour",
+        "model_validation",
+        "hopping_spectrogram",
+    ],
+)
+def test_example_runs_clean(name, capsys):
+    assert _run_example(name) == 0
+    out = capsys.readouterr().out
+    assert out.strip()  # examples narrate what they verified

@@ -1,0 +1,126 @@
+"""Property-based tests for the simulated device (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cusim import (
+    KEPLER_K20X,
+    AccessPattern,
+    GlobalAccess,
+    GpuSimulation,
+    KernelSpec,
+    OpKind,
+    estimate_kernel,
+    measure_transactions,
+    transaction_count,
+)
+
+DEV = KEPLER_K20X
+
+kernel_specs = st.builds(
+    KernelSpec,
+    name=st.sampled_from(["a", "b", "c"]),
+    grid_blocks=st.integers(min_value=1, max_value=8192),
+    threads_per_block=st.sampled_from([32, 64, 128, 256, 512]),
+    flops_per_thread=st.floats(min_value=0, max_value=1e5),
+    accesses=st.lists(
+        st.builds(
+            GlobalAccess,
+            pattern=st.sampled_from(list(AccessPattern)),
+            elements=st.integers(min_value=0, max_value=1 << 22),
+            element_bytes=st.sampled_from([2, 4, 8, 16]),
+            stride=st.integers(min_value=1, max_value=256),
+        ),
+        max_size=3,
+    ).map(tuple),
+    dependent_rounds=st.integers(min_value=1, max_value=64),
+)
+
+
+@given(kernel_specs)
+@settings(max_examples=80)
+def test_kernel_timing_invariants(spec):
+    t = estimate_kernel(spec, DEV)
+    assert t.total_s >= DEV.kernel_launch_overhead_s
+    assert t.compute_s >= 0 and t.memory_s >= 0 and t.latency_s >= 0
+    assert 0 < t.sm_demand <= 1
+    assert t.wire_bytes >= t.useful_bytes * 0 and t.wire_bytes >= 0
+    assert 0 < t.coalescing_efficiency <= 1.0 + 1e-9
+    # Wire traffic never undercuts useful traffic by the transaction math.
+    if t.useful_bytes > 0:
+        assert t.wire_bytes >= t.useful_bytes / DEV.transaction_bytes
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([2, 4, 8, 16]),
+    st.integers(min_value=1, max_value=512),
+)
+def test_transaction_count_ordering(elements, eb, stride):
+    """random >= strided >= coalesced >= broadcast, always."""
+    co = transaction_count(GlobalAccess(AccessPattern.COALESCED, elements, eb), DEV)
+    stl = transaction_count(
+        GlobalAccess(AccessPattern.STRIDED, elements, eb, stride=stride), DEV
+    )
+    ra = transaction_count(GlobalAccess(AccessPattern.RANDOM, elements, eb), DEV)
+    br = transaction_count(GlobalAccess(AccessPattern.BROADCAST, elements, eb), DEV)
+    assert br <= co <= stl <= ra or elements == 0
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=512))
+def test_measured_transactions_bounded(seed, count):
+    rng = np.random.default_rng(seed)
+    addr = rng.integers(0, 1 << 30, count)
+    got = measure_transactions(addr, DEV)
+    # At least one per warp, at most one per element.
+    warps = -(-count // DEV.warp_size)
+    assert warps <= got <= count
+
+
+@st.composite
+def timelines(draw):
+    n_streams = draw(st.integers(min_value=1, max_value=6))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_streams - 1),
+                st.integers(min_value=1, max_value=512),   # grid blocks
+                st.floats(min_value=0, max_value=1e4),      # flops/thread
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return n_streams, ops
+
+
+@given(timelines())
+@settings(max_examples=50, deadline=None)
+def test_scheduler_makespan_bounds(tl):
+    """Makespan lies between the longest op and the serialized sum (plus
+    issue gaps), stream order holds, and the kernel limit is respected."""
+    n_streams, ops = tl
+    sim = GpuSimulation(DEV)
+    streams = [sim.stream() for _ in range(n_streams)]
+    isolated = []
+    for sid, blocks, flops in ops:
+        t = sim.launch(
+            streams[sid],
+            KernelSpec("k", grid_blocks=blocks, threads_per_block=128,
+                       flops_per_thread=flops),
+        )
+        isolated.append(t.total_s)
+    rep = sim.run()
+    gap_budget = (len(ops) + 1) * sim.host_launch_gap_s
+    assert rep.makespan_s >= max(isolated) - 1e-12
+    assert rep.makespan_s <= sum(isolated) + gap_budget + 1e-9
+    assert rep.max_concurrency() <= DEV.max_concurrent_kernels
+    # In-stream ordering: records of one stream must not overlap.
+    by_stream: dict[int, list] = {}
+    for r in rep.records:
+        by_stream.setdefault(r.stream_id, []).append(r)
+    for recs in by_stream.values():
+        recs.sort(key=lambda r: r.start_s)
+        for a, b in zip(recs, recs[1:]):
+            assert b.start_s >= a.end_s - 1e-12

@@ -1,0 +1,109 @@
+"""Property-based tests on estimation exactness and plan round-trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    bin_vectorized,
+    bucket_fft,
+    estimate_values,
+    load_plan,
+    make_plan,
+    save_plan,
+    sfft,
+)
+from repro.signals import make_sparse_signal
+
+
+@given(
+    st.integers(min_value=10, max_value=13).map(lambda p: 1 << p),
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=0.0, max_value=2 * np.pi),
+)
+@settings(max_examples=20, deadline=None)
+def test_single_coefficient_estimated_exactly(n, seed, magnitude, phase):
+    """A 1-sparse spectrum is reconstructed to the filter tolerance for any
+    location, magnitude, and phase."""
+    rng = np.random.default_rng(seed)
+    loc = int(rng.integers(0, n))
+    val = magnitude * n * np.exp(1j * phase)
+    sig = make_sparse_signal(n, 1, locations=np.array([loc]), values=np.array([val]))
+    plan = make_plan(n, 1, seed=seed ^ 0x1234)
+    rows = np.empty((plan.loops, plan.B), dtype=np.complex128)
+    for r, perm in enumerate(plan.permutations):
+        rows[r] = bin_vectorized(sig.time, plan.filt, plan.B, perm)
+    rows = bucket_fft(rows)
+    est = estimate_values(
+        np.array([loc]), rows, list(plan.permutations), plan.filt, plan.B
+    )
+    assert abs(est[0] - val) < 1e-5 * abs(val)
+
+
+@given(
+    st.integers(min_value=10, max_value=12).map(lambda p: 1 << p),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=10, deadline=None)
+def test_plan_serialization_roundtrip_property(tmp_path_factory, n, k, seed):
+    """save/load never changes a transform's output, for any shape.
+
+    (@given fills the rightmost arguments; the pytest fixture comes first.)
+    """
+    plan = make_plan(n, k, seed=seed)
+    path = tmp_path_factory.mktemp("plans") / "p.npz"
+    save_plan(plan, path)
+    plan2 = load_plan(path)
+    sig = make_sparse_signal(n, k, seed=seed ^ 0xBEEF)
+    a = sfft(sig.time, plan=plan)
+    b = sfft(sig.time, plan=plan2)
+    assert (a.locations == b.locations).all()
+    assert np.array_equal(a.values, b.values)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=15, deadline=None)
+def test_linearity_of_recovery(seed):
+    """Scaling the input scales the recovered values (transform linearity)."""
+    n, k = 1 << 12, 4
+    sig = make_sparse_signal(n, k, seed=seed)
+    plan = make_plan(n, k, seed=seed ^ 0xF00D)
+    a = sfft(sig.time, plan=plan)
+    b = sfft(3.5 * sig.time, plan=plan)
+    assert (a.locations == b.locations).all()
+    assert np.allclose(b.values, 3.5 * a.values, rtol=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=0, max_value=4095))
+@settings(max_examples=15, deadline=None)
+def test_shift_theorem(seed, shift):
+    """Circularly shifting the input multiplies each coefficient by the
+    expected phase (the DFT shift theorem), preserved by sparse recovery."""
+    n, k = 1 << 12, 4
+    sig = make_sparse_signal(n, k, seed=seed)
+    plan = make_plan(n, k, seed=seed ^ 0xCAFE)
+    a = sfft(sig.time, plan=plan)
+    b = sfft(np.roll(sig.time, shift), plan=plan)
+    assert (a.locations == b.locations).all()
+    expected = a.values * np.exp(-2j * np.pi * a.locations * shift / n)
+    assert np.abs(b.values - expected).max() < 1e-6 * np.abs(a.values).max()
+
+
+@given(
+    st.integers(min_value=11, max_value=14).map(lambda p: 1 << p),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=12, deadline=None)
+def test_exact_phase_decoder_property(n, k, seed):
+    """The sFFT-3.0-style decoder recovers any exactly-sparse spectrum."""
+    from repro.core import sfft_exact
+
+    sig = make_sparse_signal(n, k, seed=seed)
+    res, stats = sfft_exact(sig.time, k, seed=seed ^ 0xD00D)
+    assert set(res.locations.tolist()) == set(sig.locations.tolist())
+    for f, v in zip(sig.locations, sig.values):
+        assert abs(res.as_dict()[int(f)] - v) < 1e-6 * abs(v)
+    assert stats.rounds <= 12

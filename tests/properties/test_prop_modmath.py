@@ -1,0 +1,64 @@
+"""Property-based tests for modular arithmetic (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.modmath import (
+    gcd,
+    is_power_of_two,
+    mod_inverse,
+    mod_mult_range,
+    next_power_of_two,
+)
+
+pow2 = st.integers(min_value=1, max_value=20).map(lambda p: 1 << p)
+
+
+@given(pow2, st.integers(min_value=0, max_value=1 << 19))
+def test_mod_inverse_of_odd_residues(n, half):
+    a = (2 * half + 1) % n
+    if a == 0:
+        a = 1
+    inv = mod_inverse(a, n)
+    assert (a * inv) % n == 1
+    assert 0 <= inv < n
+
+
+@given(st.integers(min_value=2, max_value=10_000), st.integers(min_value=1, max_value=10_000))
+def test_mod_inverse_roundtrip_when_coprime(n, a):
+    if gcd(a, n) != 1:
+        return
+    assert (a * mod_inverse(a, n)) % n == 1
+
+
+@given(
+    st.integers(min_value=1, max_value=100_000),
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.integers(min_value=-(10**6), max_value=10**6),
+)
+@settings(max_examples=60)
+def test_mod_mult_range_matches_recurrence(n, count, step, start):
+    got = mod_mult_range(start, count, step, n)
+    v = start % n
+    s = step % n
+    for i in range(count):
+        assert got[i] == v
+        v = (v + s) % n
+
+
+@given(st.integers(min_value=0, max_value=1 << 40))
+def test_next_power_of_two_properties(n):
+    p = next_power_of_two(n)
+    assert is_power_of_two(p)
+    assert p >= max(1, n)
+    if n > 1:
+        assert p // 2 < n
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=0, max_value=10**9))
+def test_gcd_divides_both(a, b):
+    g = gcd(a, b)
+    if g:
+        assert a % g == 0 and b % g == 0

@@ -1,0 +1,128 @@
+"""Unit tests for accuracy metrics and profiling breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FIG2_GROUPS,
+    StepBreakdown,
+    l1_error_per_coefficient,
+    measure_breakdown,
+    modeled_breakdown,
+    score_result,
+    support_metrics,
+)
+from repro.core import STEP_NAMES, SparseFFTResult, sfft
+from repro.errors import ParameterError
+from repro.signals import make_sparse_signal
+
+
+class TestL1Error:
+    def test_zero_for_identical(self):
+        spec = np.arange(8, dtype=complex)
+        assert l1_error_per_coefficient(spec, spec, 4) == 0.0
+
+    def test_per_coefficient_normalization(self):
+        a = np.zeros(8, complex)
+        b = np.zeros(8, complex)
+        b[3] = 2.0
+        assert l1_error_per_coefficient(a, b, 2) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            l1_error_per_coefficient(np.zeros(4), np.zeros(8), 1)
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            l1_error_per_coefficient(np.zeros(4), np.zeros(4), 0)
+
+
+class TestSupportMetrics:
+    def test_perfect(self):
+        tp, p, r = support_metrics(np.array([1, 2, 3]), np.array([1, 2, 3]))
+        assert (tp, p, r) == (3, 1.0, 1.0)
+
+    def test_partial(self):
+        tp, p, r = support_metrics(np.array([1, 2, 9]), np.array([1, 2, 3, 4]))
+        assert tp == 2
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(0.5)
+
+    def test_empty_found(self):
+        tp, p, r = support_metrics(np.empty(0, dtype=int), np.array([1]))
+        assert (tp, p, r) == (0, 0.0, 0.0)
+
+    def test_empty_truth(self):
+        tp, p, r = support_metrics(np.array([1]), np.empty(0, dtype=int))
+        assert r == 1.0
+
+
+class TestScoreResult:
+    def test_exact_transform_scores_cleanly(self):
+        sig = make_sparse_signal(1 << 12, 8, seed=1)
+        res = sfft(sig.time, 8, seed=2)
+        rep = score_result(res, sig.locations, sig.values)
+        assert rep.recall == 1.0 and rep.precision == 1.0
+        assert rep.true_positives == 8
+        assert rep.l1_error < 1e-4 * (1 << 12)
+        assert rep.max_relative_error < 1e-5
+
+    def test_missing_coefficient_lowers_recall(self):
+        res = SparseFFTResult(
+            n=16, locations=np.array([2]), values=np.array([1.0 + 0j]),
+            votes=np.array([4]),
+        )
+        rep = score_result(res, np.array([2, 5]), np.array([1.0 + 0j, 1.0 + 0j]))
+        assert rep.recall == 0.5
+        assert rep.max_relative_error == float("inf") or rep.max_relative_error >= 0
+
+    def test_misaligned_truth(self):
+        res = SparseFFTResult(
+            n=16, locations=np.array([2]), values=np.array([1.0 + 0j]),
+            votes=np.array([4]),
+        )
+        with pytest.raises(ParameterError):
+            score_result(res, np.array([1, 2]), np.array([1.0 + 0j]))
+
+
+class TestBreakdowns:
+    def test_measure_breakdown_covers_all_steps(self):
+        bd = measure_breakdown(1 << 12, 4, seed=3, repeats=1)
+        assert set(bd.seconds) == set(STEP_NAMES)
+        assert bd.total > 0
+
+    def test_shares_sum_to_one(self):
+        bd = measure_breakdown(1 << 12, 4, seed=3, repeats=1)
+        assert sum(bd.shares().values()) == pytest.approx(1.0)
+
+    def test_modeled_breakdown_paper_scale(self):
+        bd = modeled_breakdown(1 << 26, 1000, profile="fast")
+        assert bd.total > 0
+        assert bd.dominant() in bd.seconds
+
+    def test_perm_filter_share_grows_with_n(self):
+        small = modeled_breakdown(1 << 19, 1000, profile="fast")
+        big = modeled_breakdown(1 << 26, 1000, profile="fast")
+        assert (
+            big.shares()["perm_filter"] > small.shares()["perm_filter"]
+        )
+
+    def test_estimation_share_falls_with_n(self):
+        # Figure 2(a)'s counter-intuitive observation.
+        small = modeled_breakdown(1 << 19, 1000, profile="fast")
+        big = modeled_breakdown(1 << 26, 1000, profile="fast")
+        small_rec = small.shares()["recovery"] + small.shares()["estimation"]
+        big_rec = big.shares()["recovery"] + big.shares()["estimation"]
+        assert big_rec < small_rec
+
+    def test_fig2_groups_cover_steps(self):
+        assert set(FIG2_GROUPS) == set(STEP_NAMES)
+
+    def test_zero_breakdown_rejected(self):
+        bd = StepBreakdown(n=4, k=1, seconds={"a": 0.0})
+        with pytest.raises(ParameterError):
+            bd.shares()
+
+    def test_bad_repeats(self):
+        with pytest.raises(ParameterError):
+            measure_breakdown(1 << 12, 4, repeats=0)

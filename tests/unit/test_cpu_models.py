@@ -1,0 +1,132 @@
+"""Unit tests for the CPU comparators: machine spec, FFTW, PsFFT."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import SANDY_BRIDGE_E5_2640, FftwPlan, PsFFT
+from repro.errors import ParameterError
+from repro.perf import sfft_step_counts
+from repro.signals import make_sparse_signal
+
+CPU = SANDY_BRIDGE_E5_2640
+
+
+class TestCpuSpec:
+    def test_table2_numbers(self):
+        # Paper Table II: 6 cores, 2.50 GHz, 6x32KB L1D, 6x256KB L2,
+        # 15 MB L3, 64 GB DRAM.
+        assert CPU.cores == 6
+        assert CPU.clock_hz == pytest.approx(2.5e9)
+        assert CPU.l1d_bytes == 32 * 1024
+        assert CPU.l2_bytes == 256 * 1024
+        assert CPU.l3_bytes == 15 * 1024**2
+        assert CPU.dram_bytes == 64 * 1024**3
+
+    def test_derived_rates_positive(self):
+        assert 0 < CPU.effective_bandwidth < CPU.peak_bandwidth
+        assert 0 < CPU.effective_flops < CPU.dp_flops
+        assert CPU.random_access_rate > 1e8
+
+
+class TestFftw:
+    def test_functional_matches_numpy(self, rng):
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        assert np.allclose(FftwPlan(512).execute(x), np.fft.fft(x))
+
+    def test_time_grows_superlinearly(self):
+        ts = [FftwPlan(1 << p).estimated_time() for p in (20, 23, 26)]
+        assert ts[0] < ts[1] < ts[2]
+        assert ts[2] / ts[1] > (1 << 26) / (1 << 23) * 0.9
+
+    def test_cache_resident_is_flop_bound(self):
+        small = FftwPlan(1 << 16)
+        assert small.dram_passes == 0
+
+    def test_out_of_cache_pays_dram(self):
+        assert FftwPlan(1 << 24).dram_passes >= 1
+
+    def test_fewer_threads_slower(self):
+        assert FftwPlan(1 << 24, threads=1).estimated_time() > FftwPlan(
+            1 << 24, threads=6
+        ).estimated_time()
+
+    def test_k_plays_no_role(self):
+        # The dense transform has no sparsity parameter at all.
+        assert FftwPlan(1 << 20).estimated_time() == FftwPlan(1 << 20).estimated_time()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FftwPlan(1000)
+        with pytest.raises(ParameterError):
+            FftwPlan(1024, threads=0)
+        with pytest.raises(ParameterError):
+            FftwPlan(1024).execute(np.zeros(512, complex))
+
+
+class TestPsfft:
+    def test_functional_recovers_sparse_signal(self):
+        sig = make_sparse_signal(1 << 13, 8, seed=3)
+        ps = PsFFT.create(1 << 13, 8)
+        res = ps.execute(sig.time, seed=4)
+        assert set(res.locations.tolist()) == set(sig.locations.tolist())
+
+    def test_step_times_all_positive(self):
+        times = PsFFT.create(1 << 20, 100).estimated_times()
+        for name, value in times.as_dict().items():
+            assert value > 0, name
+        assert times.total == pytest.approx(sum(times.as_dict().values()))
+
+    def test_sublinear_growth_in_n(self):
+        # 8x the data should cost far less than 8x the time (sFFT scaling).
+        t1 = PsFFT.create(1 << 21, 1000, profile="fast").estimated_time()
+        t2 = PsFFT.create(1 << 24, 1000, profile="fast").estimated_time()
+        assert t2 / t1 < 6.0
+
+    def test_grows_with_k(self):
+        t_small = PsFFT.create(1 << 22, 100, profile="fast").estimated_time()
+        t_big = PsFFT.create(1 << 22, 2000, profile="fast").estimated_time()
+        assert t_big > t_small
+
+    def test_counts_shared_with_gpu_model(self):
+        ps = PsFFT.create(1 << 18, 50)
+        assert ps.step_counts() == sfft_step_counts(ps.params)
+
+    def test_fewer_threads_slower(self):
+        slow = PsFFT.create(1 << 22, 500, threads=1).estimated_time()
+        fast = PsFFT.create(1 << 22, 500, threads=6).estimated_time()
+        assert slow > 2 * fast
+
+    def test_plan_cached(self):
+        ps = PsFFT.create(1 << 12, 4)
+        assert ps.plan(seed=1) is ps.plan(seed=2)
+
+
+class TestStepCounts:
+    def test_filter_width_multiple_of_B(self):
+        from repro.core import derive_parameters
+
+        c = sfft_step_counts(derive_parameters(1 << 20, 100))
+        assert c.filter_width % c.B == 0
+        assert c.rounds == c.filter_width // c.B
+
+    def test_counts_match_real_plan_width(self):
+        from repro.core import derive_parameters, make_plan
+
+        params = derive_parameters(1 << 14, 16)
+        c = sfft_step_counts(params)
+        plan = make_plan(params.n, params.k, params=params, seed=0)
+        assert c.filter_width == plan.filt.width
+
+    def test_votes_formula(self):
+        from repro.core import derive_parameters
+
+        p = derive_parameters(1 << 16, 32, B=1024, loops=5, select_count=40)
+        c = sfft_step_counts(p)
+        assert c.votes == 5 * 40 * ((1 << 16) // 1024)
+
+    def test_gaussian_window_counts(self):
+        from repro.core import derive_parameters
+
+        p = derive_parameters(1 << 16, 32, window="gaussian")
+        c = sfft_step_counts(p)
+        assert c.filter_width > 0

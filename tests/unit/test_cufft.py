@@ -1,0 +1,81 @@
+"""Unit tests for the simulated cuFFT plan."""
+
+import numpy as np
+import pytest
+
+from repro.cufft import CufftPlan
+from repro.cusim import KEPLER_K20X
+from repro.errors import ParameterError
+
+DEV = KEPLER_K20X
+
+
+class TestFunctional:
+    def test_matches_numpy_1d(self, rng):
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        assert np.allclose(CufftPlan(1024).execute(x), np.fft.fft(x))
+
+    def test_matches_numpy_batched(self, rng):
+        x = rng.standard_normal((4, 256)) + 1j * rng.standard_normal((4, 256))
+        out = CufftPlan(256, batch=4).execute(x)
+        assert np.allclose(out, np.fft.fft(x, axis=-1))
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.standard_normal((2, 128)) + 0j
+        plan = CufftPlan(128, batch=2)
+        assert np.allclose(plan.inverse(plan.execute(x)), x)
+
+    def test_shape_validated(self):
+        with pytest.raises(ParameterError):
+            CufftPlan(256, batch=2).execute(np.zeros(256, complex))
+        with pytest.raises(ParameterError):
+            CufftPlan(256).execute(np.zeros(128, complex))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ParameterError):
+            CufftPlan(100)
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ParameterError):
+            CufftPlan(256, batch=0)
+
+
+class TestCostModel:
+    def test_passes_grow_with_n(self):
+        assert CufftPlan(1 << 27).passes > CufftPlan(1 << 12).passes
+
+    def test_large_transform_bandwidth_bound(self):
+        plan = CufftPlan(1 << 27)
+        t = plan.estimated_time(DEV)
+        floor = plan.passes * 2 * (1 << 27) * 16 / DEV.effective_bandwidth
+        assert t == pytest.approx(floor, rel=0.2)
+
+    def test_nlogn_scaling(self):
+        # Doubling n slightly more than doubles time (extra pass every 3
+        # octaves).
+        t1 = CufftPlan(1 << 24).estimated_time(DEV)
+        t2 = CufftPlan(1 << 25).estimated_time(DEV)
+        assert 1.8 < t2 / t1 < 2.9
+
+    def test_time_independent_of_content_only_size(self):
+        # k plays no role for the dense transform (Figure 5(b)'s flat lines).
+        assert CufftPlan(1 << 20).estimated_time(DEV) == CufftPlan(
+            1 << 20
+        ).estimated_time(DEV)
+
+    def test_batched_cheaper_than_looped(self):
+        plan = CufftPlan(4096, batch=16)
+        assert plan.estimated_time(DEV) < plan.estimated_time_unbatched(DEV)
+
+    def test_batch_amortizes_launches(self):
+        # The batched win comes from launch amortization: per-transform
+        # overhead shrinks with batch size.
+        small = CufftPlan(4096, batch=2)
+        big = CufftPlan(4096, batch=64)
+        per_small = small.estimated_time(DEV) / 2
+        per_big = big.estimated_time(DEV) / 64
+        assert per_big < per_small
+
+    def test_kernel_specs_count(self):
+        plan = CufftPlan(1 << 12, batch=3)
+        assert len(plan.kernel_specs()) == plan.passes

@@ -1,0 +1,242 @@
+"""Unit tests for the simulated device: spec, occupancy, memory model,
+atomics, kernel cost model."""
+
+import numpy as np
+import pytest
+
+from repro.cusim import (
+    KEPLER_K20X,
+    AccessPattern,
+    AtomicProfile,
+    GlobalAccess,
+    KernelSpec,
+    atomic_time,
+    estimate_kernel,
+    measure_transactions,
+    transaction_count,
+    wire_bytes,
+)
+from repro.errors import LaunchConfigError, ParameterError
+
+DEV = KEPLER_K20X
+
+
+class TestDeviceSpec:
+    def test_table1_numbers(self):
+        # Paper Table I: 2688 cores / 14 SMs, 732 MHz, 6 GB, 250 GB/s.
+        assert DEV.total_cores == 2688
+        assert DEV.sm_count == 14
+        assert DEV.clock_hz == pytest.approx(732e6)
+        assert DEV.global_mem_bytes == 6 * 1024**3
+        assert DEV.peak_bandwidth == pytest.approx(250e9)
+
+    def test_effective_bandwidth_below_peak(self):
+        assert DEV.effective_bandwidth < DEV.peak_bandwidth
+
+
+class TestOccupancy:
+    def test_full_occupancy_at_256_threads(self):
+        occ = DEV.occupancy(256)
+        assert occ.fraction == 1.0
+        assert occ.blocks_per_sm == 8
+
+    def test_small_blocks_hit_block_limit(self):
+        occ = DEV.occupancy(32)
+        # 16 blocks x 32 threads = 512 threads of 2048 possible.
+        assert occ.limiter == "blocks"
+        assert occ.fraction == pytest.approx(0.25)
+
+    def test_register_pressure_reduces_occupancy(self):
+        lo = DEV.occupancy(256, registers_per_thread=128)
+        hi = DEV.occupancy(256, registers_per_thread=32)
+        assert lo.fraction < hi.fraction
+        assert lo.limiter == "registers"
+
+    def test_shared_memory_limits_blocks(self):
+        occ = DEV.occupancy(256, shared_per_block=24 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "shared"
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            DEV.occupancy(2048)
+
+    def test_impossible_shared_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            DEV.occupancy(256, shared_per_block=64 * 1024)
+
+    def test_bad_registers_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            DEV.occupancy(256, registers_per_thread=0)
+
+
+class TestTransactionModel:
+    def test_coalesced_complex128(self):
+        # 32 lanes x 16B = 512B = 4 segments per warp.
+        a = GlobalAccess(AccessPattern.COALESCED, 32, 16)
+        assert transaction_count(a, DEV) == 4
+
+    def test_coalesced_rounds_up(self):
+        a = GlobalAccess(AccessPattern.COALESCED, 5, 16)
+        assert transaction_count(a, DEV) == 1
+
+    def test_random_pays_one_per_element(self):
+        a = GlobalAccess(AccessPattern.RANDOM, 1000, 16)
+        assert transaction_count(a, DEV) == 1000
+
+    def test_broadcast_one_per_warp(self):
+        a = GlobalAccess(AccessPattern.BROADCAST, 64, 8)
+        assert transaction_count(a, DEV) == 2
+
+    def test_strided_interpolates(self):
+        dense = GlobalAccess(AccessPattern.STRIDED, 32, 8, stride=1)
+        mid = GlobalAccess(AccessPattern.STRIDED, 32, 8, stride=4)
+        wide = GlobalAccess(AccessPattern.STRIDED, 32, 8, stride=64)
+        t_dense = transaction_count(dense, DEV)
+        t_mid = transaction_count(mid, DEV)
+        t_wide = transaction_count(wide, DEV)
+        assert t_dense == 2            # same as coalesced 32x8B
+        assert t_dense < t_mid < t_wide
+        assert t_wide == 32            # fully scattered
+
+    def test_zero_elements(self):
+        a = GlobalAccess(AccessPattern.RANDOM, 0, 16)
+        assert transaction_count(a, DEV) == 0
+
+    def test_wire_bytes_amplification(self):
+        a = GlobalAccess(AccessPattern.RANDOM, 100, 16)
+        assert wire_bytes(a, DEV) == 100 * 128  # 8x amplification
+
+    def test_invalid_access(self):
+        with pytest.raises(ParameterError):
+            GlobalAccess(AccessPattern.RANDOM, -1, 16)
+        with pytest.raises(ParameterError):
+            GlobalAccess(AccessPattern.STRIDED, 10, 8, stride=0)
+
+    def test_measured_matches_analytic_coalesced(self):
+        addr = np.arange(256) * 16
+        a = GlobalAccess(AccessPattern.COALESCED, 256, 16)
+        assert measure_transactions(addr, DEV) == transaction_count(a, DEV)
+
+    def test_measured_matches_analytic_random(self, rng):
+        addr = rng.integers(0, 1 << 30, 320) * 997  # effectively random
+        a = GlobalAccess(AccessPattern.RANDOM, 320, 16)
+        got = measure_transactions(addr, DEV)
+        # Random may collide occasionally; within a few percent.
+        assert got <= transaction_count(a, DEV)
+        assert got > 0.9 * transaction_count(a, DEV)
+
+    def test_measured_broadcast(self):
+        addr = np.zeros(64, dtype=np.int64)
+        assert measure_transactions(addr, DEV) == 2
+
+    def test_measured_rejects_floats(self):
+        with pytest.raises(ParameterError):
+            measure_transactions(np.zeros(4), DEV)
+
+
+class TestAtomics:
+    def test_no_atomics_free(self):
+        assert atomic_time(None, DEV) == 0.0
+        assert atomic_time(AtomicProfile(0, 1), DEV) == 0.0
+
+    def test_conflict_free_throughput_bound(self):
+        t = atomic_time(AtomicProfile(ops=10**7, distinct_addresses=10**7), DEV)
+        assert t == pytest.approx(10**7 / DEV.atomic_throughput)
+
+    def test_single_counter_serializes(self):
+        free = atomic_time(AtomicProfile(10**4, 10**4), DEV)
+        hot = atomic_time(AtomicProfile(10**4, 1), DEV)
+        assert hot > 10 * free
+
+    def test_invalid_profile(self):
+        with pytest.raises(ParameterError):
+            AtomicProfile(ops=5, distinct_addresses=0)
+
+
+class TestKernelCostModel:
+    def test_memory_bound_coalesced_read_rate(self):
+        spec = KernelSpec(
+            "r", grid_blocks=4096, threads_per_block=256,
+            accesses=(GlobalAccess(AccessPattern.COALESCED, 1 << 27, 16),),
+        )
+        t = estimate_kernel(spec, DEV)
+        expect = (1 << 27) * 16 / DEV.effective_bandwidth
+        assert t.memory_s == pytest.approx(expect, rel=0.05)
+        assert t.bound == "memory"
+
+    def test_random_8x_slower_than_coalesced(self):
+        mk = lambda pat: estimate_kernel(
+            KernelSpec("k", 4096, 256, accesses=(GlobalAccess(pat, 1 << 24, 16),)),
+            DEV,
+        )
+        ratio = mk(AccessPattern.RANDOM).memory_s / mk(AccessPattern.COALESCED).memory_s
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+    def test_small_grid_cannot_saturate_bandwidth(self):
+        # Few resident warps -> Little's-law cap -> slower per byte.
+        big = estimate_kernel(
+            KernelSpec("b", 4096, 256,
+                       accesses=(GlobalAccess(AccessPattern.RANDOM, 1 << 20, 16),)),
+            DEV,
+        )
+        small = estimate_kernel(
+            KernelSpec("s", 4, 256,
+                       accesses=(GlobalAccess(AccessPattern.RANDOM, 1 << 20, 16),)),
+            DEV,
+        )
+        assert small.memory_s > 2 * big.memory_s
+
+    def test_compute_bound_kernel(self):
+        spec = KernelSpec("c", 4096, 256, flops_per_thread=1e5)
+        t = estimate_kernel(spec, DEV)
+        assert t.bound == "compute"
+        assert t.compute_s == pytest.approx(
+            4096 * 256 * 1e5 / DEV.dp_flops, rel=0.01
+        )
+
+    def test_latency_chain_floor(self):
+        spec = KernelSpec(
+            "l", 1, 32, dependent_rounds=100,
+            accesses=(GlobalAccess(AccessPattern.RANDOM, 3200, 16),),
+        )
+        t = estimate_kernel(spec, DEV)
+        assert t.latency_s == pytest.approx(
+            100 * DEV.mem_latency_s / DEV.mlp_per_warp
+        )
+
+    def test_atomics_add_to_total(self):
+        base = KernelSpec("a", 64, 256, flops_per_thread=10)
+        with_at = KernelSpec(
+            "a", 64, 256, flops_per_thread=10,
+            atomics=AtomicProfile(ops=10**6, distinct_addresses=8),
+        )
+        assert (
+            estimate_kernel(with_at, DEV).total_s
+            > estimate_kernel(base, DEV).total_s
+        )
+
+    def test_sm_demand_scales_with_grid(self):
+        small = estimate_kernel(KernelSpec("s", 1, 64, flops_per_thread=1), DEV)
+        big = estimate_kernel(KernelSpec("b", 4096, 256, flops_per_thread=1), DEV)
+        assert small.sm_demand < big.sm_demand
+        assert small.sm_demand >= 1.0 / DEV.sm_count
+        assert big.sm_demand == 1.0
+
+    def test_coalescing_efficiency_reported(self):
+        spec = KernelSpec(
+            "e", 64, 256,
+            accesses=(GlobalAccess(AccessPattern.RANDOM, 1000, 16),),
+        )
+        t = estimate_kernel(spec, DEV)
+        assert t.coalescing_efficiency == pytest.approx(16 / 128)
+
+    def test_invalid_spec(self):
+        with pytest.raises(LaunchConfigError):
+            KernelSpec("x", 0, 256)
+        with pytest.raises(LaunchConfigError):
+            KernelSpec("x", 1, 256, dependent_rounds=0)
+
+    def test_launch_overhead_floor(self):
+        t = estimate_kernel(KernelSpec("tiny", 1, 32, flops_per_thread=1), DEV)
+        assert t.total_s >= DEV.kernel_launch_overhead_s

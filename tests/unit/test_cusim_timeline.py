@@ -1,0 +1,247 @@
+"""Unit tests for streams, events, the fluid scheduler, Thrust primitives,
+and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.cusim import (
+    KEPLER_K20X,
+    GpuSimulation,
+    KernelSpec,
+    OpKind,
+    inclusive_scan,
+    reduce_sum,
+    render_summary,
+    sort_by_key,
+    sort_passes,
+    summarize,
+)
+from repro.errors import ParameterError, StreamError
+
+DEV = KEPLER_K20X
+
+
+def _sim() -> GpuSimulation:
+    """Scheduler with the host launch-issue gap disabled, so the fluid
+    overlap math is tested in isolation (the gap has its own test)."""
+    return GpuSimulation(DEV, host_launch_gap_s=0.0)
+
+
+def _half_kernel(name="half"):
+    # 56 blocks x 256 threads = half the K20x's resident capacity.
+    return KernelSpec(name, grid_blocks=56, threads_per_block=256,
+                      flops_per_thread=1e5)
+
+
+def _full_kernel(name="full"):
+    return KernelSpec(name, grid_blocks=4096, threads_per_block=256,
+                      flops_per_thread=1e4)
+
+
+class TestStreamSemantics:
+    def test_in_stream_order_preserved(self):
+        sim = _sim()
+        s = sim.stream()
+        sim.launch(s, _half_kernel("a"))
+        sim.launch(s, _half_kernel("b"))
+        rep = sim.run()
+        recs = {r.name: r for r in rep.records}
+        assert recs["b"].start_s >= recs["a"].end_s - 1e-12
+
+    def test_cross_stream_event_ordering(self):
+        sim = _sim()
+        s1, s2 = sim.stream(), sim.stream()
+        sim.launch(s1, _half_kernel("a"))
+        ev = s1.record_event()
+        sim.launch(s2, _half_kernel("b"), after=(ev,))
+        rep = sim.run()
+        recs = {r.name: r for r in rep.records}
+        assert recs["b"].start_s >= recs["a"].end_s - 1e-12
+
+    def test_event_on_empty_stream_rejected(self):
+        sim = _sim()
+        s = sim.stream()
+        with pytest.raises(StreamError):
+            s.record_event()
+
+    def test_memcpy_direction_validated(self):
+        sim = _sim()
+        s = sim.stream()
+        with pytest.raises(StreamError):
+            sim.memcpy(s, 100, "sideways")
+
+    def test_memcpy_duration(self):
+        sim = _sim()
+        s = sim.stream()
+        dur = sim.memcpy(s, 6_000_000_000, "h2d")
+        assert dur == pytest.approx(1.0, rel=0.01)
+
+
+class TestFluidScheduler:
+    def test_two_half_kernels_fully_overlap(self):
+        sim = _sim()
+        s1, s2 = sim.stream(), sim.stream()
+        t = sim.launch(s1, _half_kernel("a"))
+        sim.launch(s2, _half_kernel("b"))
+        rep = sim.run()
+        assert rep.makespan_s == pytest.approx(t.total_s, rel=0.01)
+        assert rep.max_concurrency() == 2
+
+    def test_two_full_kernels_serialize_in_time(self):
+        sim = _sim()
+        s1, s2 = sim.stream(), sim.stream()
+        t = sim.launch(s1, _full_kernel("a"))
+        sim.launch(s2, _full_kernel("b"))
+        rep = sim.run()
+        assert rep.makespan_s == pytest.approx(2 * t.total_s, rel=0.01)
+
+    def test_four_quarter_kernels_overlap(self):
+        sim = _sim()
+        spec = KernelSpec("q", grid_blocks=28, threads_per_block=256,
+                          flops_per_thread=1e5)
+        t = None
+        for _ in range(4):
+            t = sim.launch(sim.stream(), spec)
+        rep = sim.run()
+        assert rep.makespan_s == pytest.approx(t.total_s, rel=0.01)
+
+    def test_transfer_overlaps_kernel(self):
+        sim = _sim()
+        s1, s2 = sim.stream(), sim.stream()
+        kt = sim.launch(s1, _full_kernel())
+        xt = sim.memcpy(s2, 120_000_000, "h2d")
+        rep = sim.run()
+        assert rep.makespan_s == pytest.approx(max(kt.total_s, xt), rel=0.01)
+
+    def test_h2d_and_d2h_use_separate_engines(self):
+        sim = _sim()
+        s1, s2 = sim.stream(), sim.stream()
+        a = sim.memcpy(s1, 60_000_000, "h2d")
+        b = sim.memcpy(s2, 60_000_000, "d2h")
+        rep = sim.run()
+        assert rep.makespan_s == pytest.approx(max(a, b), rel=0.01)
+
+    def test_same_direction_transfers_share_engine(self):
+        sim = _sim()
+        s1, s2 = sim.stream(), sim.stream()
+        a = sim.memcpy(s1, 60_000_000, "h2d")
+        sim.memcpy(s2, 60_000_000, "h2d")
+        rep = sim.run()
+        assert rep.makespan_s == pytest.approx(2 * a, rel=0.02)
+
+    def test_concurrent_kernel_limit_enforced(self):
+        sim = _sim()
+        tiny = KernelSpec("t", grid_blocks=1, threads_per_block=32,
+                          flops_per_thread=1e4)
+        for _ in range(40):
+            sim.launch(sim.stream(), tiny)
+        rep = sim.run()
+        kernel_peaks = rep.max_concurrency()
+        assert kernel_peaks <= DEV.max_concurrent_kernels
+
+    def test_host_work_serializes_on_stream(self):
+        sim = _sim()
+        s = sim.stream()
+        sim.host_work(s, "prep", 1e-3)
+        sim.launch(s, _half_kernel("k"))
+        rep = sim.run()
+        recs = {r.name: r for r in rep.records}
+        assert recs["k"].start_s >= 1e-3 - 1e-9
+
+    def test_empty_simulation(self):
+        rep = _sim().run()
+        assert rep.makespan_s == 0.0 and rep.records == []
+
+    def test_host_launch_gap_serializes_issue(self):
+        # With the gap on, N tiny overlapping kernels cannot start faster
+        # than the CPU can issue them.
+        sim = GpuSimulation(DEV, host_launch_gap_s=4e-6)
+        tiny = KernelSpec("t", grid_blocks=1, threads_per_block=32,
+                          flops_per_thread=100)
+        for _ in range(10):
+            sim.launch(sim.stream(), tiny)
+        rep = sim.run()
+        starts = sorted(r.start_s for r in rep.records)
+        for i, t0 in enumerate(starts):
+            assert t0 >= (i + 1) * 4e-6 - 1e-9
+
+    def test_launch_gap_default_on(self):
+        assert GpuSimulation(DEV).host_launch_gap_s > 0
+
+    def test_deadlock_detected(self):
+        # Op waits on an event recorded after a *later* op in its own stream.
+        sim = _sim()
+        s1, s2 = sim.stream(), sim.stream()
+        sim.launch(s2, _half_kernel("later"))
+        ev = s2.record_event()
+        # Manually create a cycle: s2's head op waits on s1's event, while
+        # s1's op waits on ev (recorded after s2's op).
+        sim.launch(s1, _half_kernel("first"), after=(ev,))
+        ev1 = s1.record_event()
+        s2.ops[0].after = (ev1,)
+        with pytest.raises(StreamError):
+            sim.run()
+
+
+class TestThrust:
+    def test_sort_passes(self):
+        assert sort_passes(64) == 16
+        assert sort_passes(32) == 8
+        with pytest.raises(ParameterError):
+            sort_passes(0)
+
+    def test_sort_by_key_descending(self):
+        (k, v), specs = sort_by_key(
+            np.array([1.0, 3.0, 2.0]), np.array([10, 30, 20])
+        )
+        assert k.tolist() == [3.0, 2.0, 1.0]
+        assert v.tolist() == [30, 20, 10]
+        assert len(specs) == 2 * sort_passes(64)
+
+    def test_sort_by_key_ascending(self):
+        (k, _), _ = sort_by_key(
+            np.array([1.0, 3.0, 2.0]), np.arange(3), descending=False
+        )
+        assert k.tolist() == [1.0, 2.0, 3.0]
+
+    def test_sort_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            sort_by_key(np.zeros(3), np.zeros(4))
+
+    def test_reduce_sum(self):
+        total, specs = reduce_sum(np.arange(10.0))
+        assert total == pytest.approx(45.0)
+        assert specs[0].name == "thrust_reduce"
+
+    def test_inclusive_scan(self):
+        out, specs = inclusive_scan(np.array([1, 2, 3]))
+        assert out.tolist() == [1, 3, 6]
+        assert len(specs) == 2
+
+
+class TestProfiler:
+    def _report(self):
+        sim = _sim()
+        s = sim.stream()
+        sim.launch(s, _half_kernel("alpha"))
+        sim.launch(s, _half_kernel("alpha"))
+        sim.launch(s, _full_kernel("beta"))
+        sim.memcpy(s, 1000, "d2h")
+        return sim.run()
+
+    def test_summarize_groups_by_name(self):
+        summary = summarize(self._report())
+        names = {s.name: s for s in summary}
+        assert names["alpha"].calls == 2
+        assert names["beta"].calls == 1
+        assert abs(sum(s.share for s in summary) - 1.0) < 1e-9
+
+    def test_summary_sorted_by_total(self):
+        summary = summarize(self._report())
+        totals = [s.total_s for s in summary]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_render_contains_kernels_and_makespan(self):
+        text = render_summary(self._report())
+        assert "alpha" in text and "beta" in text
+        assert "makespan" in text

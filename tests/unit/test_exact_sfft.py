@@ -1,0 +1,119 @@
+"""Unit tests for the exactly-sparse (sFFT-3.0-style) transform."""
+
+import numpy as np
+import pytest
+
+from repro.core import sfft_exact
+from repro.errors import ParameterError, RecoveryError
+from repro.signals import make_sparse_signal
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize(
+        "n,k,seed",
+        [(1 << 12, 1, 0), (1 << 12, 4, 1), (1 << 14, 20, 2), (1 << 16, 100, 3)],
+    )
+    def test_support_and_values_exact(self, n, k, seed):
+        sig = make_sparse_signal(n, k, seed=seed)
+        res, stats = sfft_exact(sig.time, k, seed=seed + 100)
+        assert set(res.locations.tolist()) == set(sig.locations.tolist())
+        for f, v in zip(sig.locations, sig.values):
+            assert abs(res.as_dict()[int(f)] - v) < 1e-6 * abs(v)
+        assert stats.rounds >= 1
+
+    def test_values_at_filter_tolerance(self):
+        sig = make_sparse_signal(1 << 16, 50, seed=9)
+        res, _ = sfft_exact(sig.time, 50, seed=10)
+        worst = max(
+            abs(res.as_dict()[int(f)] - v) / abs(v)
+            for f, v in zip(sig.locations, sig.values)
+        )
+        assert worst < 1e-7
+
+    def test_uses_fewer_samples_than_windowed_at_scale(self):
+        from repro.core import make_plan
+
+        n, k = 1 << 18, 100
+        sig = make_sparse_signal(n, k, seed=11)
+        _, stats = sfft_exact(sig.time, k, seed=12)
+        plan = make_plan(n, k, seed=13)  # accurate-profile windowed plan
+        assert stats.samples_touched < plan.filt.width * plan.loops
+
+    def test_peeling_resolves_collisions(self):
+        # Congruent-mod-B frequencies would never separate under plain
+        # aliasing; the windowed hash must still resolve them.
+        n, k = 1 << 14, 4
+        B_guess = 64  # bucket_factor 4 * k = 16 -> but use crowded custom
+        locs = np.array([100, 100 + 1024, 100 + 2048, 100 + 4096])
+        vals = n * np.exp(1j * np.linspace(0, 3, 4))
+        sig = make_sparse_signal(n, 4, locations=locs, values=vals)
+        res, stats = sfft_exact(sig.time, 4, bucket_factor=2, seed=14)
+        assert set(res.locations.tolist()) == set(locs.tolist())
+
+    def test_stats_accounting(self):
+        sig = make_sparse_signal(1 << 12, 8, seed=15)
+        _, stats = sfft_exact(sig.time, 8, seed=16)
+        assert stats.samples_touched > 0
+        assert stats.singletons_found >= 8
+        assert len(stats.per_round_found) == stats.rounds
+
+
+class TestExactFailureModes:
+    def test_noisy_input_raises_in_strict_mode(self):
+        sig = make_sparse_signal(1 << 12, 4, seed=20)
+        rng = np.random.default_rng(21)
+        noisy = sig.time + 0.01 * rng.standard_normal(1 << 12)
+        with pytest.raises(RecoveryError):
+            sfft_exact(noisy, 4, seed=22, strict=True)
+
+    def test_non_strict_returns_partial(self):
+        sig = make_sparse_signal(1 << 12, 4, seed=23)
+        rng = np.random.default_rng(24)
+        noisy = sig.time + 0.01 * rng.standard_normal(1 << 12)
+        res, _ = sfft_exact(noisy, 4, seed=25, strict=False)
+        assert res.k_found >= 0  # best effort, no exception
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            sfft_exact(np.zeros(1000, complex), 4)   # not a power of two
+        with pytest.raises(ParameterError):
+            sfft_exact(np.zeros(16, complex), 16)    # k >= n
+        with pytest.raises(ParameterError):
+            sfft_exact(np.zeros(16, complex), 0)
+
+    def test_deterministic_given_seed(self):
+        sig = make_sparse_signal(1 << 12, 6, seed=26)
+        a, _ = sfft_exact(sig.time, 6, seed=27)
+        b, _ = sfft_exact(sig.time, 6, seed=27)
+        assert (a.locations == b.locations).all()
+        assert np.array_equal(a.values, b.values)
+
+
+class TestExactEdgeCases:
+    def test_zero_signal_returns_empty(self):
+        res, stats = sfft_exact(np.zeros(1024, dtype=complex), 4, seed=1)
+        assert res.k_found == 0
+        assert stats.singletons_found == 0
+
+    def test_dc_component(self):
+        res, _ = sfft_exact(np.ones(1024, dtype=complex), 1, seed=2)
+        assert res.locations.tolist() == [0]
+        assert abs(res.values[0] - 1024) < 1e-6
+
+    def test_nyquist_component(self):
+        t = np.arange(1024)
+        x = np.exp(2j * np.pi * 512 * t / 1024)
+        res, _ = sfft_exact(x, 1, seed=3)
+        assert res.locations.tolist() == [512]
+        assert abs(res.values[0] - 1024) < 1e-6
+
+    def test_adjacent_frequencies_separated(self):
+        # Two coefficients one bin apart: always in the same or adjacent
+        # bucket under any permutation scale... the random dilation spreads
+        # them; peeling must still resolve both.
+        n = 1 << 12
+        locs = np.array([777, 778])
+        vals = np.array([n + 0j, -n + 0j])
+        sig = make_sparse_signal(n, 2, locations=locs, values=vals)
+        res, _ = sfft_exact(sig.time, 2, seed=4)
+        assert set(res.locations.tolist()) == {777, 778}

@@ -1,0 +1,122 @@
+"""Additional filter-stack tests: design trade-offs, profiles, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import PROFILES, derive_parameters
+from repro.errors import FilterDesignError, ReproError
+from repro.filters import (
+    FlatFilter,
+    analyze_filter,
+    chebyshev_support,
+    gaussian_support,
+    make_flat_window,
+)
+
+
+class TestSupportFormulas:
+    def test_support_inversely_proportional_to_lobefrac(self):
+        w1 = chebyshev_support(0.01, 1e-6)
+        w2 = chebyshev_support(0.005, 1e-6)
+        assert w2 == pytest.approx(2 * w1, rel=0.05)
+
+    def test_support_grows_log_with_tolerance(self):
+        w6 = chebyshev_support(0.01, 1e-6)
+        w12 = chebyshev_support(0.01, 1e-12)
+        assert 1.5 < w12 / w6 < 2.5  # acosh(1/d) ~ ln(2/d)
+
+    def test_gaussian_needs_more_taps(self):
+        assert gaussian_support(0.01, 1e-8) > chebyshev_support(0.01, 1e-8)
+
+    def test_profiles_trade_support_for_accuracy(self):
+        fast = derive_parameters(1 << 16, 32, profile="fast")
+        accurate = derive_parameters(1 << 16, 32, profile="accurate")
+        assert fast.tolerance > accurate.tolerance
+        assert fast.lobefrac > accurate.lobefrac
+        w_fast = chebyshev_support(fast.lobefrac, fast.tolerance)
+        w_acc = chebyshev_support(accurate.lobefrac, accurate.tolerance)
+        assert w_fast < 0.6 * w_acc
+
+    def test_profiles_registry(self):
+        assert set(PROFILES) == {"accurate", "fast"}
+
+
+class TestFilterTradeoffs:
+    def test_tighter_tolerance_cleaner_stopband(self):
+        n, B = 1 << 12, 64
+        loose = make_flat_window(n, B, tolerance=1e-4)
+        tight = make_flat_window(n, B, tolerance=1e-10)
+        assert (
+            tight.stopband_leakage(beyond=n // B)
+            < loose.stopband_leakage(beyond=n // B) / 100
+        )
+
+    def test_wider_box_wider_passband(self):
+        n, B = 1 << 12, 64
+        narrow = make_flat_window(n, B, box_halfwidth=n // B // 4)
+        wide = make_flat_window(n, B, box_halfwidth=n // B)
+        assert wide.passband_halfwidth() > narrow.passband_halfwidth()
+
+    def test_fast_profile_filter_still_usable(self):
+        n, B = 1 << 14, 128
+        f = make_flat_window(
+            n, B, tolerance=1e-6, lobefrac=0.5 / B
+        )
+        rep = analyze_filter(f, B)
+        # Fast profile: the wider main lobe leaks a couple of percent into
+        # the immediately adjacent bucket (voting absorbs that), but the
+        # in-bucket response stays near 1 and the response two bucket
+        # spacings out is at tolerance level.
+        assert rep.passband_min > 0.9
+        assert rep.stopband_max < 0.05
+        assert f.stopband_leakage(beyond=2 * (n // B)) < 1e-3
+
+    def test_filter_energy_concentrated_in_support(self):
+        n, B = 1 << 12, 64
+        f = make_flat_window(n, B)
+        time_energy = float(np.abs(f.time) ** 2 @ np.ones(f.width))
+        assert time_energy > 0
+
+    def test_report_fields_consistent(self):
+        n, B = 1 << 12, 64
+        rep = analyze_filter(make_flat_window(n, B), B)
+        assert 0 <= rep.passband_ripple < 1
+        assert rep.passband_min <= rep.passband_max
+        assert rep.support <= n
+        assert rep.transition_width >= 0
+
+
+class TestErrorHierarchy:
+    def test_filter_errors_are_repro_errors(self):
+        assert issubclass(FilterDesignError, ReproError)
+        assert issubclass(FilterDesignError, ValueError)
+
+    def test_all_library_errors_share_base(self):
+        from repro.errors import (
+            DeviceError,
+            DeviceMemoryError,
+            ExperimentError,
+            LaunchConfigError,
+            ParameterError,
+            RecoveryError,
+            StreamError,
+        )
+
+        for exc in (
+            DeviceError, DeviceMemoryError, ExperimentError,
+            LaunchConfigError, ParameterError, RecoveryError, StreamError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_device_error_subtypes(self):
+        from repro.errors import DeviceError, DeviceMemoryError, LaunchConfigError, StreamError
+
+        assert issubclass(LaunchConfigError, DeviceError)
+        assert issubclass(DeviceMemoryError, DeviceError)
+        assert issubclass(StreamError, DeviceError)
+
+    def test_one_except_catches_everything(self):
+        from repro.filters import make_flat_window
+
+        with pytest.raises(ReproError):
+            make_flat_window(100, 7)

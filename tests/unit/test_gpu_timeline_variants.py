@@ -1,0 +1,134 @@
+"""Unit tests for less-travelled GPU timeline paths: unbatched FFT, the
+atomic-histogram variant's timeline, h2d gating, kernel-spec details."""
+
+import numpy as np
+import pytest
+
+from repro.cusim import KEPLER_K20X, OpKind, estimate_kernel
+from repro.errors import ParameterError
+from repro.gpu import ATOMIC_HISTOGRAM, BASELINE, OPTIMIZED, CusFFT, CusfftConfig
+from repro.gpu.kernels import (
+    estimate_spec,
+    fast_select_spec,
+    recovery_spec,
+    score_memset_spec,
+    sort_select_specs,
+)
+from repro.signals import make_sparse_signal
+
+DEV = KEPLER_K20X
+
+
+class TestTimelineVariants:
+    def test_unbatched_fft_launches_more_kernels(self):
+        kw = dict(profile="fast", loops=6)
+        batched = CusFFT.create(1 << 18, 64, config=OPTIMIZED, **kw)
+        looped = CusFFT.create(
+            1 << 18, 64, config=OPTIMIZED.with_(batched_fft=False), **kw
+        )
+        n_b = sum(
+            1 for r in batched.modeled_report().records
+            if r.name.startswith("cufft_")
+        )
+        n_l = sum(
+            1 for r in looped.modeled_report().records
+            if r.name.startswith("cufft_")
+        )
+        assert n_l == 6 * n_b
+
+    def test_unbatched_fft_slower(self):
+        kw = dict(profile="fast", loops=6)
+        batched = CusFFT.create(1 << 18, 64, config=OPTIMIZED, **kw).estimated_time()
+        looped = CusFFT.create(
+            1 << 18, 64, config=OPTIMIZED.with_(batched_fft=False), **kw
+        ).estimated_time()
+        assert looped > batched
+
+    def test_atomic_variant_timeline_has_atomic_kernel(self):
+        t = CusFFT.create(1 << 16, 32, config=ATOMIC_HISTOGRAM)
+        names = {r.name for r in t.modeled_report().records}
+        assert "cusfft_perm_filter_atomic" in names
+        assert "cusfft_perm_filter_partition" not in names
+
+    def test_h2d_gates_binning_start(self):
+        t = CusFFT.create(1 << 20, 64, h2d="full", profile="fast")
+        rep = t.modeled_report()
+        h2d_end = max(r.end_s for r in rep.by_kind(OpKind.H2D))
+        first_bin = min(
+            r.start_s for r in rep.records
+            if r.name.startswith("cusfft_layout_remap")
+        )
+        assert first_bin >= h2d_end - 1e-12
+
+    def test_memset_overlaps_binning_without_h2d(self):
+        t = CusFFT.create(1 << 20, 64, profile="fast")
+        rep = t.modeled_report()
+        memset = next(r for r in rep.records if r.name == "cusfft_score_memset")
+        last_bin = max(
+            r.end_s for r in rep.records
+            if r.name.startswith("cusfft_layout")
+        )
+        assert memset.start_s < last_bin  # ran concurrently with binning
+
+    def test_custom_threads_per_block(self):
+        cfg = CusfftConfig(layout_transform=True, fast_select=True,
+                           threads_per_block=128)
+        t = CusFFT.create(1 << 16, 32, config=cfg)
+        rep = t.modeled_report()
+        assert rep.makespan_s > 0
+
+    def test_functional_with_unbatched_fft(self):
+        sig = make_sparse_signal(1 << 12, 8, seed=80)
+        t = CusFFT.create(
+            1 << 12, 8, config=BASELINE.with_(batched_fft=False)
+        )
+        run = t.execute(sig.time, seed=81)
+        assert set(run.result.locations.tolist()) == set(sig.locations.tolist())
+
+
+class TestKernelSpecDetails:
+    def test_score_memset_traffic(self):
+        spec = score_memset_spec(n=1 << 20)
+        t = estimate_kernel(spec, DEV)
+        assert t.useful_bytes == 2 * (1 << 20)  # int16 scores
+
+    def test_memset_scales_linearly(self):
+        small = estimate_kernel(score_memset_spec(n=1 << 20), DEV).memory_s
+        big = estimate_kernel(score_memset_spec(n=1 << 24), DEV).memory_s
+        assert big == pytest.approx(16 * small, rel=0.1)
+
+    def test_recovery_spec_atomics_scale_with_region(self):
+        a = estimate_kernel(
+            recovery_spec(selected=100, n_div_B=128, n=1 << 20), DEV
+        )
+        b = estimate_kernel(
+            recovery_spec(selected=100, n_div_B=1024, n=1 << 20), DEV
+        )
+        assert b.atomic_s > a.atomic_s
+
+    def test_estimate_spec_scales_with_hits(self):
+        a = estimate_kernel(estimate_spec(hits=100, loops=6), DEV)
+        b = estimate_kernel(estimate_spec(hits=10000, loops=6), DEV)
+        assert b.total_s > a.total_s
+
+    def test_fast_select_single_pass(self):
+        spec = fast_select_spec(B=1 << 16, expected_selected=1000)
+        t = estimate_kernel(spec, DEV)
+        # One coalesced read of the buckets dominates the useful traffic.
+        assert t.useful_bytes >= (1 << 16) * 16
+
+    def test_sort_specs_pass_count(self):
+        specs = sort_select_specs(B=4096)
+        assert len(specs) == 32  # 16 passes x (histogram + scatter)
+        scatter = [s for s in specs if s.name == "thrust_radix_scatter"]
+        assert len(scatter) == 16
+
+    def test_sort_much_more_wire_than_select(self):
+        B = 1 << 16
+        sort_wire = sum(
+            estimate_kernel(s, DEV).wire_bytes for s in sort_select_specs(B=B)
+        )
+        sel_wire = estimate_kernel(
+            fast_select_spec(B=B, expected_selected=1000), DEV
+        ).wire_bytes
+        assert sort_wire > 10 * sel_wire

@@ -1,0 +1,155 @@
+"""Unit tests for device memory accounting, ASCII charts, and the off-grid
+workload."""
+
+import numpy as np
+import pytest
+
+from repro.cusim import DeviceMemoryPool, KEPLER_K20X
+from repro.errors import DeviceMemoryError, ParameterError
+from repro.gpu import CusFFT
+from repro.signals import make_offgrid_tones
+from repro.utils.asciiplot import line_chart
+
+
+class TestDeviceMemoryPool:
+    def test_alloc_and_release(self):
+        pool = DeviceMemoryPool(KEPLER_K20X)
+        a = pool.alloc("buf", 1 << 30)
+        assert pool.used == 1 << 30
+        assert a.nbytes == 1 << 30
+        pool.release("buf")
+        assert pool.used == 0
+
+    def test_capacity_reserves_runtime(self):
+        pool = DeviceMemoryPool(KEPLER_K20X)
+        assert pool.capacity < KEPLER_K20X.global_mem_bytes
+
+    def test_oom_raises(self):
+        pool = DeviceMemoryPool(KEPLER_K20X)
+        with pytest.raises(DeviceMemoryError):
+            pool.alloc("huge", 7 * 1024**3)
+
+    def test_oom_message_names_allocation(self):
+        pool = DeviceMemoryPool(KEPLER_K20X)
+        with pytest.raises(DeviceMemoryError, match="huge"):
+            pool.alloc("huge", 7 * 1024**3)
+
+    def test_duplicate_name_rejected(self):
+        pool = DeviceMemoryPool(KEPLER_K20X)
+        pool.alloc("a", 100)
+        with pytest.raises(ParameterError):
+            pool.alloc("a", 100)
+
+    def test_release_unknown(self):
+        with pytest.raises(ParameterError):
+            DeviceMemoryPool(KEPLER_K20X).release("ghost")
+
+    def test_non_positive_size(self):
+        with pytest.raises(ParameterError):
+            DeviceMemoryPool(KEPLER_K20X).alloc("z", 0)
+
+    def test_summary(self):
+        pool = DeviceMemoryPool(KEPLER_K20X)
+        pool.alloc("a", 10)
+        pool.alloc("b", 20)
+        assert pool.summary() == {"a": 10, "b": 20}
+
+
+class TestCusfftFootprint:
+    def test_paper_max_size_fits(self):
+        pool = CusFFT.create(1 << 27, 1000, profile="fast").device_footprint()
+        assert pool.free > 0
+        assert "signal" in pool.summary()
+
+    def test_2_29_does_not_fit_k20x(self):
+        # The physical reason the paper's sweep stops at 2^27.
+        with pytest.raises(DeviceMemoryError):
+            CusFFT.create(1 << 29, 1000, profile="fast").device_footprint()
+
+    def test_execute_checks_budget(self):
+        t = CusFFT.create(1 << 29, 1000, profile="fast")
+        with pytest.raises(DeviceMemoryError):
+            t.execute(np.zeros(1 << 29, dtype=np.complex64))  # never reached
+
+
+class TestLineChart:
+    X = [1 << p for p in range(10, 15)]
+
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(self.X, {"a": [1, 2, 4, 8, 16], "b": [16, 8, 4, 2, 1]})
+        assert "legend: o=a, x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_monotone_series_monotone_rows(self):
+        chart = line_chart(
+            self.X, {"up": [1, 2, 4, 8, 16]}, width=30, height=10
+        )
+        rows = [i for i, line in enumerate(chart.splitlines()) if "o" in line]
+        assert rows == sorted(rows)  # marker descends the canvas rightwards
+
+    def test_linear_axes(self):
+        chart = line_chart(
+            [0, 1, 2], {"a": [0.0, 1.0, 2.0]}, logx=False, logy=False
+        )
+        assert "legend" in chart
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            line_chart([1, 2], {"a": [0.0, 1.0]})
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ParameterError):
+            line_chart([1, 2], {"a": [1.0]})
+
+    def test_requires_two_points(self):
+        with pytest.raises(ParameterError):
+            line_chart([1], {"a": [1.0]})
+
+    def test_title_rendered(self):
+        chart = line_chart([1, 2], {"a": [1.0, 2.0]}, title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_experiment_series_plot(self):
+        from repro.experiments import run_experiment
+
+        res = run_experiment("fig5c", sizes=[1 << 18, 1 << 20, 1 << 22])
+        assert res.series is not None
+        out = res.render(plot=True)
+        assert "legend" in out
+
+
+class TestOffgridWorkload:
+    def test_zero_offset_is_exactly_sparse(self):
+        x, freqs = make_offgrid_tones(1 << 12, 4, 0.0, seed=1)
+        spec = np.abs(np.fft.fft(x))
+        on_grid = spec[freqs.astype(int)]
+        off_grid = np.delete(spec, freqs.astype(int))
+        assert on_grid.min() > 1e6 * off_grid.max()
+
+    def test_half_bin_offset_leaks(self):
+        x, freqs = make_offgrid_tones(1 << 12, 4, 0.5, seed=2)
+        spec = np.abs(np.fft.fft(x))
+        nearest = spec[np.round(freqs).astype(int) % (1 << 12)]
+        # The nearest bin holds only ~2/pi of the tone amplitude.
+        assert nearest.max() < 0.75 * (1 << 12)
+
+    def test_frequencies_carry_offset(self):
+        _, freqs = make_offgrid_tones(1 << 12, 4, 0.3, seed=3)
+        assert np.allclose(freqs % 1, 0.3)
+
+    def test_offset_range_validated(self):
+        with pytest.raises(ParameterError):
+            make_offgrid_tones(1 << 12, 4, 1.0)
+
+    def test_ext_offgrid_degrades_gracefully(self):
+        from repro.experiments import run_experiment
+
+        res = run_experiment(
+            "ext-offgrid", n=1 << 14, k=8, offsets=(0.0, 0.5), trials=1
+        )
+        recall_on = float(res.rows[0][1])
+        energy_on = float(res.rows[0][2])
+        energy_half = float(res.rows[1][2])
+        assert recall_on >= 0.8
+        assert energy_on > 0.95
+        assert energy_half < energy_on

@@ -1,0 +1,147 @@
+"""Unit tests for signal/workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.signals import (
+    add_awgn,
+    make_gps_correlation,
+    make_harmonic_tones,
+    make_seismic_reflectivity,
+    make_sparse_signal,
+    make_wideband_channels,
+    random_support,
+    signal_power,
+    snr_db,
+)
+
+
+class TestRandomSupport:
+    def test_distinct_and_in_range(self, rng):
+        locs = random_support(1024, 50, rng)
+        assert len(set(locs.tolist())) == 50
+        assert locs.min() >= 0 and locs.max() < 1024
+
+    def test_min_separation_enforced(self, rng):
+        locs = random_support(1024, 20, rng, min_separation=16)
+        gaps = np.diff(np.sort(locs))
+        assert gaps.min() >= 16
+
+    def test_infeasible_separation(self, rng):
+        with pytest.raises(ParameterError):
+            random_support(64, 10, rng, min_separation=10)
+
+    def test_k_exceeds_n(self, rng):
+        with pytest.raises(ParameterError):
+            random_support(8, 9, rng)
+
+
+class TestSparseSignal:
+    def test_spectrum_matches_fft(self):
+        sig = make_sparse_signal(512, 5, seed=1)
+        spec = np.fft.fft(sig.time)
+        dense = sig.dense_spectrum()
+        assert np.abs(spec - dense).max() < 1e-8 * np.abs(dense).max()
+
+    def test_exactly_k_sparse(self):
+        sig = make_sparse_signal(512, 5, seed=2)
+        spec = np.fft.fft(sig.time)
+        off = np.delete(np.abs(spec), sig.locations)
+        assert off.max() < 1e-7 * np.abs(sig.values).min()
+
+    def test_explicit_locations_and_values(self):
+        locs = np.array([3, 100, 200])
+        vals = np.array([1 + 1j, 2.0, -3j])
+        sig = make_sparse_signal(512, 3, locations=locs, values=vals)
+        assert (sig.locations == locs).all()
+        assert np.allclose(sig.values, vals)
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(ParameterError):
+            make_sparse_signal(512, 3, locations=np.array([1, 1, 2]))
+
+    def test_value_count_mismatch(self):
+        with pytest.raises(ParameterError):
+            make_sparse_signal(512, 2, locations=np.array([1, 2]), values=np.ones(3))
+
+    def test_amplitude_scale(self):
+        sig = make_sparse_signal(256, 1, seed=3, amplitude=2.0)
+        assert abs(sig.values[0]) == pytest.approx(2.0 * 256)
+
+    def test_deterministic_by_seed(self):
+        a = make_sparse_signal(256, 4, seed=9)
+        b = make_sparse_signal(256, 4, seed=9)
+        assert (a.locations == b.locations).all()
+        assert np.allclose(a.time, b.time)
+
+    def test_with_time_shape_check(self):
+        sig = make_sparse_signal(256, 4, seed=9)
+        with pytest.raises(ParameterError):
+            sig.with_time(np.zeros(128, complex))
+
+    def test_properties(self):
+        sig = make_sparse_signal(256, 4, seed=9)
+        assert sig.n == 256 and sig.k == 4
+
+
+class TestNoise:
+    def test_signal_power(self):
+        assert signal_power(np.full(10, 2.0 + 0j)) == pytest.approx(4.0)
+
+    def test_power_of_empty(self):
+        with pytest.raises(ParameterError):
+            signal_power(np.empty(0))
+
+    def test_awgn_hits_requested_snr(self):
+        x = np.exp(2j * np.pi * np.arange(4096) * 5 / 4096)
+        noisy, noise = add_awgn(x, 20.0, seed=4)
+        assert snr_db(x, noise) == pytest.approx(20.0, abs=0.5)
+        assert np.allclose(noisy - noise, x)
+
+    def test_snr_infinite_for_zero_noise(self):
+        x = np.ones(16, complex)
+        assert snr_db(x, np.zeros(16)) == float("inf")
+
+
+class TestWorkloads:
+    def test_wideband_channels_ground_truth(self):
+        scene = make_wideband_channels(4096, 16, 0.25, seed=5)
+        assert scene.occupied.sum() == 4
+        width = 4096 // 16
+        for loc in scene.signal.locations:
+            assert scene.occupied[loc // width]
+
+    def test_wideband_invalid_occupancy(self):
+        with pytest.raises(ParameterError):
+            make_wideband_channels(4096, 16, 0.0)
+
+    def test_wideband_channels_must_divide(self):
+        with pytest.raises(ParameterError):
+            make_wideband_channels(4096, 17, 0.5)
+
+    def test_harmonic_tones_structure(self):
+        sig = make_harmonic_tones(4096, 32, 8, seed=6)
+        assert (sig.locations == 32 * np.arange(1, 9)).all()
+        mags = np.abs(sig.values)
+        assert (np.diff(mags) < 0).all()  # decaying overtones
+
+    def test_harmonic_tones_band_limit(self):
+        with pytest.raises(ParameterError):
+            make_harmonic_tones(64, 16, 8)
+
+    def test_gps_correlation_spike(self):
+        product, code, delay = make_gps_correlation(4096, 137, 3, seed=7)
+        corr = np.fft.ifft(product)
+        assert int(np.argmax(np.abs(corr))) == delay
+
+    def test_gps_delay_range(self):
+        with pytest.raises(ParameterError):
+            make_gps_correlation(1024, 1024, 0)
+
+    def test_seismic_reflectors_recoverable(self):
+        trace, times = make_seismic_reflectivity(2048, 6, seed=8, snr=None)
+        assert times.size == 6
+        assert trace.dtype == np.float64
+        # Energy concentrates near the reflectors.
+        assert np.abs(trace).max() > 10 * np.abs(trace).mean()

@@ -1,0 +1,109 @@
+"""Unit tests for the tooling surface: timeline rendering, plan
+serialization, the package demo CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core import load_plan, make_plan, save_plan, sfft
+from repro.cusim import (
+    KEPLER_K20X,
+    GpuSimulation,
+    KernelSpec,
+    TimelineReport,
+    render_timeline,
+)
+from repro.errors import ParameterError
+from repro.signals import make_sparse_signal
+
+
+def _small_report():
+    sim = GpuSimulation(KEPLER_K20X, host_launch_gap_s=0.0)
+    s1, s2 = sim.stream(), sim.stream()
+    sim.launch(s1, KernelSpec("alpha_kernel", 56, 256, flops_per_thread=1e5))
+    sim.launch(s2, KernelSpec("beta_kernel", 56, 256, flops_per_thread=1e5))
+    sim.memcpy(s1, 1 << 20, "d2h")
+    return sim.run()
+
+
+class TestRenderTimeline:
+    def test_contains_streams_and_legend(self):
+        out = render_timeline(_small_report())
+        assert "s0" in out and "s1" in out
+        assert "legend:" in out
+        assert "alpha_kernel" in out and "beta_kernel" in out
+
+    def test_distinct_symbols_per_kernel(self):
+        out = render_timeline(_small_report())
+        legend = out.splitlines()[-1]
+        # Two kernels, two distinct symbols.
+        syms = [part.split("=")[0].strip() for part in legend.split(",")[:2]]
+        assert len(set(syms)) == 2
+
+    def test_transfer_marker(self):
+        out = render_timeline(_small_report())
+        assert ">" in out
+
+    def test_empty_report(self):
+        assert "empty" in render_timeline(TimelineReport(makespan_s=0.0))
+
+    def test_max_rows_summarizes(self):
+        sim = GpuSimulation(KEPLER_K20X, host_launch_gap_s=0.0)
+        for _ in range(6):
+            sim.launch(
+                sim.stream(), KernelSpec("k", 1, 32, flops_per_thread=100)
+            )
+        out = render_timeline(sim.run(), max_rows=3)
+        assert "more streams" in out
+
+    def test_width_respected(self):
+        out = render_timeline(_small_report(), width=40)
+        for line in out.splitlines():
+            if line.startswith("s") and "|" in line:
+                body = line.split("|")[1]
+                assert len(body) == 40
+
+
+class TestPlanSerialization:
+    def test_roundtrip_identical_results(self, tmp_path):
+        plan = make_plan(1 << 12, 8, seed=1)
+        path = tmp_path / "plan.npz"
+        save_plan(plan, path)
+        plan2 = load_plan(path)
+        sig = make_sparse_signal(1 << 12, 8, seed=2)
+        a = sfft(sig.time, plan=plan)
+        b = sfft(sig.time, plan=plan2)
+        assert (a.locations == b.locations).all()
+        assert np.array_equal(a.values, b.values)
+
+    def test_roundtrip_preserves_parameters(self, tmp_path):
+        plan = make_plan(1 << 12, 8, seed=3, loops=5, window="gaussian")
+        path = tmp_path / "plan.npz"
+        save_plan(plan, path)
+        plan2 = load_plan(path)
+        assert plan2.params == plan.params
+        assert np.array_equal(plan2.filt.time, plan.filt.time)
+        assert [p.sigma for p in plan2.permutations] == [
+            p.sigma for p in plan.permutations
+        ]
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, schema=np.array([99]))
+        with pytest.raises(ParameterError):
+            load_plan(path)
+
+
+class TestPackageDemo:
+    def test_demo_runs_and_verifies(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["12", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: exact" in out
+        assert "timeline" in out
+
+    def test_demo_defaults(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["14"]) == 0
+        assert "2^14" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Unit tests for RNG plumbing, validation helpers, and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ReproError
+from repro.utils.rng import ensure_rng, spawn
+from repro.utils.tables import format_ratio, format_seconds, format_table
+from repro.utils.validation import (
+    as_complex_signal,
+    check_in_range,
+    check_positive_int,
+    check_power_of_two,
+    require,
+)
+
+
+class TestEnsureRng:
+    def test_from_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1 << 30, 5)
+        b = ensure_rng(42).integers(0, 1 << 30, 5)
+        assert (a == b).all()
+
+    def test_passthrough(self):
+        g = np.random.default_rng(7)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_streams_differ(self):
+        kids = spawn(ensure_rng(3), 4)
+        assert len(kids) == 4
+        draws = [g.integers(0, 1 << 30) for g in kids]
+        assert len(set(draws)) > 1
+
+    def test_spawn_reproducible(self):
+        a = [g.integers(0, 1 << 30) for g in spawn(ensure_rng(3), 3)]
+        b = [g.integers(0, 1 << 30) for g in spawn(ensure_rng(3), 3)]
+        assert a == b
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never")
+
+    def test_require_raises(self):
+        with pytest.raises(ParameterError, match="boom"):
+            require(False, "boom")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(5, "x") == 5
+        assert check_positive_int(np.int64(9), "x") == 9
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "a", None])
+    def test_check_positive_int_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            check_positive_int(bad, "x")
+
+    def test_check_power_of_two(self):
+        assert check_power_of_two(64, "n") == 64
+        with pytest.raises(ParameterError):
+            check_power_of_two(48, "n")
+
+    def test_check_in_range(self):
+        check_in_range(5, "x", 1, 10)
+        with pytest.raises(ParameterError):
+            check_in_range(11, "x", 1, 10)
+
+    def test_as_complex_signal_widens_real(self):
+        out = as_complex_signal(np.ones(8))
+        assert out.dtype == np.complex128
+
+    def test_as_complex_signal_length_check(self):
+        with pytest.raises(ParameterError):
+            as_complex_signal(np.ones(8), n=16)
+
+    def test_as_complex_signal_rejects_2d(self):
+        with pytest.raises(ParameterError):
+            as_complex_signal(np.ones((2, 4)))
+
+    def test_as_complex_signal_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            as_complex_signal(np.empty(0))
+
+    def test_as_complex_signal_rejects_strings(self):
+        with pytest.raises(ParameterError):
+            as_complex_signal(np.array(["a", "b"]))
+
+    def test_parameter_error_is_repro_and_value_error(self):
+        assert issubclass(ParameterError, ReproError)
+        assert issubclass(ParameterError, ValueError)
+
+
+class TestTables:
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.5).endswith(" s")
+        assert format_seconds(2.5e-3).endswith(" ms")
+        assert format_seconds(2.5e-6).endswith(" us")
+        assert format_seconds(2.5e-9).endswith(" ns")
+        assert format_seconds(float("nan")) == "n/a"
+
+    def test_format_ratio(self):
+        assert format_ratio(14.94) == "14.94x"
+        assert format_ratio(float("nan")) == "n/a"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[-1]
+        widths = {len(line.rstrip()) for line in lines[1:2]}
+        assert all(len(line) <= max(widths) + 10 for line in lines)
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestAsciiplotEdges:
+    def test_flat_series_handled(self):
+        from repro.utils.asciiplot import line_chart
+
+        out = line_chart([1, 2, 4], {"flat": [5.0, 5.0, 5.0]})
+        assert "legend" in out
+
+    def test_identical_x_rejected(self):
+        from repro.errors import ParameterError
+        from repro.utils.asciiplot import line_chart
+
+        with pytest.raises(ParameterError):
+            line_chart([3, 3], {"a": [1.0, 2.0]})
+
+    def test_empty_series_rejected(self):
+        from repro.errors import ParameterError
+        from repro.utils.asciiplot import line_chart
+
+        with pytest.raises(ParameterError):
+            line_chart([1, 2], {})
+
+    def test_many_series_distinct_markers(self):
+        from repro.utils.asciiplot import line_chart
+
+        series = {f"s{i}": [float(i + 1), float(i + 2)] for i in range(6)}
+        out = line_chart([1, 10], series)
+        legend = out.splitlines()[-1]
+        markers = [p.split("=")[0].strip() for p in legend.split("legend:")[1].split(",")]
+        assert len(set(markers)) == len(markers)
