@@ -9,12 +9,19 @@ artifact end to end.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import SfftPlan, make_plan
 from repro.experiments import run_experiment
+from repro.obs import MetricsRegistry, Tracer
 from repro.signals import SparseSignal, make_sparse_signal
+
+#: Where run records accumulate (one JSON line per experiment printed).
+#: Override with REPRO_BENCH_JSONL; set it empty to disable persistence.
+BENCH_JSONL = os.environ.get("REPRO_BENCH_JSONL", "BENCH_RUNS.jsonl")
 
 #: Sizes the functional (real wall-clock) benchmarks run at.
 REAL_N = 1 << 18
@@ -48,10 +55,24 @@ def shared_signal(n: int = REAL_N, k: int = REAL_K) -> SparseSignal:
 
 
 def print_experiment(experiment_id: str, **options) -> None:
-    """Run a registered experiment and print its rows (the paper artifact)."""
+    """Run a registered experiment and print its rows (the paper artifact).
+
+    Each run is clocked by a run-scoped tracer and appended to
+    ``BENCH_JSONL`` as a machine-readable run record (validated by
+    ``scripts/check_bench_json.py``), alongside the printed table.
+    """
+    if BENCH_JSONL:
+        options.setdefault("jsonl_path", BENCH_JSONL)
     result = run_experiment(experiment_id, **options)
     print()
     print(result.render())
+
+
+@pytest.fixture
+def run_obs() -> tuple[Tracer, MetricsRegistry]:
+    """A fresh (tracer, registry) pair for benchmarks that instrument
+    individual transforms rather than whole experiments."""
+    return Tracer(), MetricsRegistry()
 
 
 @pytest.fixture

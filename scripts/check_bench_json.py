@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Validate benchmark JSON artifacts and JSONL run records.
+
+Usage::
+
+    python scripts/check_bench_json.py [paths...]
+
+With no paths, scans the repository root for ``BENCH_*.json`` files and
+``*.jsonl`` run-record files.  Validation rules:
+
+* every file must parse as JSON (``.jsonl``: one JSON document per line);
+* ``.jsonl`` lines must be valid ``repro.run/1`` records (see
+  ``repro.obs.validate_run_record`` — one schema, shared with the library
+  so CI and the writer cannot drift);
+* ``BENCH_*.json`` in pytest-benchmark format (a top-level ``benchmarks``
+  array) must give every entry a ``name`` and ``stats``.
+
+Exit codes: 0 all valid (or nothing to check), 1 validation failures,
+2 usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.obs import validate_run_record  # noqa: E402
+
+
+def check_jsonl(path: str) -> list[str]:
+    """Problems found in a JSONL run-record file."""
+    problems: list[str] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{path}:{lineno}: not JSON ({exc})")
+                continue
+            for issue in validate_run_record(record):
+                problems.append(f"{path}:{lineno}: {issue}")
+    return problems
+
+
+def check_bench_json(path: str) -> list[str]:
+    """Problems found in a BENCH_*.json artifact."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not JSON ({exc})"]
+    problems: list[str] = []
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        entries = doc["benchmarks"]
+        if not isinstance(entries, list):
+            return [f"{path}: 'benchmarks' must be an array"]
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                problems.append(f"{path}: benchmarks[{i}] must be an object")
+                continue
+            for key in ("name", "stats"):
+                if key not in entry:
+                    problems.append(f"{path}: benchmarks[{i}] missing {key!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = sys.argv[1:] if argv is None else argv
+    if args and args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    paths = args or sorted(
+        glob.glob(os.path.join(_ROOT, "BENCH_*.json"))
+        + glob.glob(os.path.join(_ROOT, "*.jsonl"))
+    )
+    if not paths:
+        print("check_bench_json: no artifacts found (nothing to validate)")
+        return 0
+    problems: list[str] = []
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"check_bench_json: no such file: {path}", file=sys.stderr)
+            return 2
+        if path.endswith(".jsonl"):
+            problems += check_jsonl(path)
+        else:
+            problems += check_bench_json(path)
+    for problem in problems:
+        print(f"check_bench_json: {problem}", file=sys.stderr)
+    status = "FAILED" if problems else "ok"
+    print(f"check_bench_json: {len(paths)} file(s), "
+          f"{len(problems)} problem(s) — {status}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

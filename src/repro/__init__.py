@@ -18,7 +18,9 @@ The package provides:
 * :mod:`repro.signals` / :mod:`repro.analysis` — workload generators and
   accuracy/profiling metrics;
 * :mod:`repro.experiments` — one runner per paper table/figure
-  (``python -m repro.experiments list``).
+  (``python -m repro.experiments list``);
+* :mod:`repro.obs` — unified observability: spans + metrics shared by the
+  CPU and simulated-GPU pipelines, Chrome-trace / JSONL / text exporters.
 
 Quickstart::
 

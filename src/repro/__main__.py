@@ -3,10 +3,22 @@
 Runs one end-to-end sparse transform (default n = 2^18, k = 64), checks it
 against the dense FFT, and shows the simulated cusFFT kernel timeline —
 a 10-second tour of what the library does.
+
+Observability flags:
+
+* ``--trace out.json`` — export the combined Chrome trace (CPU pipeline
+  steps on one track, each simulated CUDA stream on its own) for
+  ``chrome://tracing`` / https://ui.perfetto.dev;
+* ``--json`` — emit a machine-readable ``repro.run/1`` record instead of
+  the human text (one JSON document on stdout).
+
+Exit codes: 0 success, 1 incomplete recovery, 2 malformed arguments.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 
@@ -14,21 +26,78 @@ import numpy as np
 
 from . import make_sparse_signal, sfft
 from .cusim import render_summary, render_timeline
-from .gpu import OPTIMIZED, cusfft
+from .gpu import OPTIMIZED, CusFFT
+from .obs import MetricsRegistry, Tracer, make_run_record, render_obs_summary
+
+#: n = 2^n_log2 must stay addressable and fit comfortably in host memory.
+_MIN_LOG2, _MAX_LOG2 = 4, 26
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="End-to-end sparse FFT demo on the simulated GPU.",
+    )
+    parser.add_argument("n_log2", nargs="?", default=18, type=_log2_arg,
+                        help=f"signal size exponent ({_MIN_LOG2}-{_MAX_LOG2},"
+                             " default 18)")
+    parser.add_argument("k", nargs="?", default=64, type=_sparsity_arg,
+                        help="sparsity (>= 1, default 64)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace_event JSON file")
+    parser.add_argument("--json", action="store_true",
+                        help="print a repro.run/1 record instead of text")
+    return parser
+
+
+def _log2_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"n_log2 must be an integer, got {text!r}"
+        ) from None
+    if not _MIN_LOG2 <= value <= _MAX_LOG2:
+        raise argparse.ArgumentTypeError(
+            f"n_log2 must be in [{_MIN_LOG2}, {_MAX_LOG2}], got {value}"
+        )
+    return value
+
+
+def _sparsity_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"k must be an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"k must be >= 1, got {value}")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = sys.argv[1:] if argv is None else argv
-    logn = int(args[0]) if len(args) > 0 else 18
-    k = int(args[1]) if len(args) > 1 else 64
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    except SystemExit as exc:
+        # argparse already printed the clear message; surface its code
+        # (2 for usage errors) instead of letting SystemExit unwind.
+        return int(exc.code or 0)
+    logn, k = args.n_log2, args.k
     n = 1 << logn
+    if k >= n:
+        print(f"error: k={k} must be smaller than n=2^{logn}={n}",
+              file=sys.stderr)
+        return 2
 
-    print(f"repro: sparse FFT of an exactly {k}-sparse signal, n = 2^{logn}")
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+
     sig = make_sparse_signal(n, k, seed=2016)
-
     t0 = time.perf_counter()
-    result = sfft(sig.time, k, seed=1)
+    result = sfft(sig.time, k, seed=1, tracer=tracer, metrics=metrics)
     t_sparse = time.perf_counter() - t0
     t0 = time.perf_counter()
     dense = np.fft.fft(sig.time)
@@ -36,17 +105,51 @@ def main(argv: list[str] | None = None) -> int:
 
     ok = set(result.locations.tolist()) == set(sig.locations.tolist())
     err = np.abs(result.to_dense() - sig.dense_spectrum()).sum() / (k * n)
+
+    run = CusFFT.create(n, k, config=OPTIMIZED).execute(
+        sig.time, seed=1, tracer=tracer, metrics=metrics
+    )
+
+    if args.trace:
+        try:
+            tracer.export_chrome_trace(args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if args.json:
+        record = make_run_record(
+            "repro-demo",
+            params={"n": n, "k": k, "n_log2": logn},
+            tracer=tracer,
+            registry=metrics,
+            results={
+                "recovery_exact": ok,
+                "l1_error_per_coeff": float(err),
+                "sfft_wall_s": t_sparse,
+                "dense_fft_wall_s": t_dense,
+                "modeled_gpu_s": run.modeled_time_s,
+            },
+        )
+        print(json.dumps(record, indent=2))
+        return 0 if ok else 1
+
+    print(f"repro: sparse FFT of an exactly {k}-sparse signal, n = 2^{logn}")
     print(f"  recovery: {'exact' if ok else 'INCOMPLETE'}  "
           f"(L1/coeff = {err:.2e})")
     print(f"  wall-clock: sfft {t_sparse * 1e3:.1f} ms vs numpy.fft "
           f"{t_dense * 1e3:.1f} ms")
-
-    run = cusfft(sig.time, k, config=OPTIMIZED, seed=1)
     print(f"\nsimulated cusFFT (Tesla K20x model): "
           f"{run.modeled_time_s * 1e3:.3f} ms")
     print(render_summary(run.report))
     print()
     print(render_timeline(run.report, max_rows=10))
+    print()
+    print(render_obs_summary(tracer, metrics, title="run summary"))
+    if args.trace:
+        print(f"\ntrace written to {args.trace} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0 if ok else 1
 
 

@@ -81,7 +81,9 @@ def measure_breakdown(
     for _ in range(repeats):
         res = sfft(sig.time, plan=plan, profile=True)
         for name, t in res.step_times.items():
-            best[name] = min(best[name], t)
+            # step_times may carry extra stages (e.g. "comb") beyond the
+            # canonical five; fold them in rather than KeyError.
+            best[name] = min(best.get(name, float("inf")), t)
     return StepBreakdown(n=n, k=k, seconds=dict(best))
 
 

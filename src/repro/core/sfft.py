@@ -15,12 +15,13 @@ the dominant cost.
 
 from __future__ import annotations
 
-import time as _time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ParameterError, RecoveryError
+from ..obs import MetricsRegistry, Tracer, emit_sfft_metrics, global_registry
 from ..utils.rng import RngLike
 from ..utils.validation import as_complex_signal
 from .binning import bin_loop_partition, bin_serial, bin_vectorized
@@ -59,7 +60,12 @@ class SparseFFTResult:
         Location-loop vote count per recovered frequency.
     step_times:
         Wall-clock seconds per pipeline step when profiling was requested,
-        else ``None``.
+        else ``None``.  A view over ``trace``: each step's spans summed.
+        Includes a ``"comb"`` entry when the sFFT-2.0 pre-filter ran.
+    trace:
+        The :class:`~repro.obs.Tracer` that clocked the run (profiling
+        only); ``trace.export_chrome_trace()`` renders it for
+        ``chrome://tracing`` / Perfetto.
     """
 
     n: int
@@ -67,6 +73,7 @@ class SparseFFTResult:
     values: np.ndarray
     votes: np.ndarray
     step_times: dict[str, float] | None = field(default=None, compare=False)
+    trace: Tracer | None = field(default=None, compare=False, repr=False)
 
     @property
     def k_found(self) -> int:
@@ -91,6 +98,7 @@ class SparseFFTResult:
             values=self.values[order],
             votes=self.votes[order],
             step_times=self.step_times,
+            trace=self.trace,
         )
 
     def as_dict(self) -> dict[int, complex]:
@@ -112,6 +120,8 @@ def sfft(
     strict: bool = False,
     profile: bool = False,
     verify: bool = False,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
     **plan_overrides,
 ) -> SparseFFTResult:
     """Compute the sparse FFT of ``x``.
@@ -144,7 +154,15 @@ def sfft(
         Raise :class:`~repro.errors.RecoveryError` if fewer than ``k``
         coefficients survive voting.
     profile:
-        Record per-step wall-clock times in the result.
+        Record per-step wall-clock times in the result (as spans on a
+        :class:`~repro.obs.Tracer`, surfaced through ``step_times``).
+    tracer:
+        Record spans into this tracer instead of a fresh one (implies
+        profiling); lets a run-scoped trace hold many transforms.
+    metrics:
+        Registry receiving the ``sfft.*`` metrics (bucket occupancy,
+        recovery votes/hits, collisions).  Defaults to
+        :func:`repro.obs.global_registry` when profiling is active.
     verify:
         Debugging aid: additionally compute the dense FFT and raise
         :class:`~repro.errors.RecoveryError` unless the recovered support
@@ -172,47 +190,49 @@ def sfft(
     params = plan.params
     B, L = params.B, params.loops
 
-    times: dict[str, float] = {name: 0.0 for name in STEP_NAMES}
+    profiling = profile or tracer is not None
+    if profiling and tracer is None:
+        tracer = Tracer()
+    span_start = len(tracer.spans) if profiling else 0
 
-    def clock() -> float:
-        return _time.perf_counter() if profile else 0.0
+    def step(name: str, **attrs):
+        return tracer.span(name, category="sfft", **attrs) if profiling \
+            else nullcontext()
 
-    # Optional sFFT-2.0 Comb screen (counted with recovery in profiles).
+    # Optional sFFT-2.0 Comb screen — timed as its own step so Figure-2
+    # style breakdowns account for every stage that ran.
     residue_filter = None
     if comb_width is not None:
-        residue_filter = comb_approved_residues(
-            x, comb_width, params.k, loops=comb_loops, seed=seed
-        )
+        with step("comb", W=comb_width, loops=comb_loops):
+            residue_filter = comb_approved_residues(
+                x, comb_width, params.k, loops=comb_loops, seed=seed
+            )
 
     # Steps 1-2: permutation + filter + fold, one row per loop.
-    t0 = clock()
-    raw = np.empty((L, B), dtype=np.complex128)
-    for r, perm in enumerate(plan.permutations):
-        raw[r] = binner(x, plan.filt, B, perm)
-    times["perm_filter"] = clock() - t0
+    with step("perm_filter", loops=L, B=B):
+        raw = np.empty((L, B), dtype=np.complex128)
+        for r, perm in enumerate(plan.permutations):
+            raw[r] = binner(x, plan.filt, B, perm)
 
     # Step 3: batched B-point FFT.
-    t0 = clock()
-    rows = bucket_fft(raw)
-    times["bucket_fft"] = clock() - t0
+    with step("bucket_fft", B=B, batch=L):
+        rows = bucket_fft(raw)
 
     # Step 4: cutoff — only the voting loops need it (the reference
     # implementation's location/estimation split).
-    t0 = clock()
     v_loops = params.voting_loops
-    selected = [
-        cutoff(np.abs(rows[r]), params.select_count, method=cutoff_method)
-        for r in range(v_loops)
-    ]
-    times["cutoff"] = clock() - t0
+    with step("cutoff", method=cutoff_method):
+        selected = [
+            cutoff(np.abs(rows[r]), params.select_count, method=cutoff_method)
+            for r in range(v_loops)
+        ]
 
     # Step 5: reverse hash + voting over the location loops.
-    t0 = clock()
-    hits, votes = recover_locations(
-        selected, list(plan.permutations[:v_loops]), B, params.vote_threshold,
-        residue_filter=residue_filter,
-    )
-    times["recovery"] = clock() - t0
+    with step("recovery", loops=v_loops):
+        hits, votes = recover_locations(
+            selected, list(plan.permutations[:v_loops]), B,
+            params.vote_threshold, residue_filter=residue_filter,
+        )
 
     if strict and hits.size < params.k:
         raise RecoveryError(
@@ -220,16 +240,39 @@ def sfft(
         )
 
     # Step 6: magnitude reconstruction.
-    t0 = clock()
-    values = estimate_values(hits, rows, list(plan.permutations), plan.filt, B)
-    times["estimation"] = clock() - t0
+    with step("estimation", hits=int(hits.size)):
+        values = estimate_values(
+            hits, rows, list(plan.permutations), plan.filt, B
+        )
+
+    times: dict[str, float] | None = None
+    if profiling:
+        emit_sfft_metrics(
+            metrics if metrics is not None else global_registry(),
+            B=B,
+            n=params.n,
+            selected_sizes=[int(s.size) for s in selected],
+            hits=hits,
+            votes=votes,
+            permutations=list(plan.permutations[:v_loops]),
+        )
+        # step_times is a view over this call's spans: same keys as the
+        # old accumulating clock, plus "comb" when the pre-filter ran.
+        by_name: dict[str, float] = {}
+        for sp in tracer.spans[span_start:]:
+            if sp.category == "sfft":
+                by_name[sp.name] = by_name.get(sp.name, 0.0) + sp.duration_s
+        times = {name: by_name.get(name, 0.0) for name in STEP_NAMES}
+        if "comb" in by_name:
+            times = {"comb": by_name["comb"], **times}
 
     result = SparseFFTResult(
         n=params.n,
         locations=hits,
         values=values,
         votes=votes,
-        step_times=times if profile else None,
+        step_times=times,
+        trace=tracer if profiling else None,
     )
     if trim_to_k:
         result = result.top(params.k)

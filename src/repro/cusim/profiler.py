@@ -104,20 +104,37 @@ def render_timeline(
         return "(empty timeline)"
     scale = width / report.makespan_s
 
-    # Assign each kernel name a distinct symbol: prefer a letter from the
-    # (prefix-stripped) name, fall back to digits.
+    # Assign each kernel name a distinct symbol, deterministically: names
+    # in first-appearance order prefer a letter from the (prefix-stripped)
+    # name, then fall back through a fixed pool.  Only when the pool is
+    # truly exhausted do names share "?", and the legend reports that
+    # overflow group explicitly instead of listing ambiguous duplicates.
+    _POOL = (
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "0123456789"
+        "!@#$%&*+=~^:;"
+    )
+    names: list[str] = []
+    for rec in report.records:
+        if rec.kind is OpKind.KERNEL and rec.name not in names:
+            names.append(rec.name)
     symbols: dict[str, str] = {}
     used: set[str] = set()
-    for rec in report.records:
-        if rec.kind is not OpKind.KERNEL or rec.name in symbols:
-            continue
-        stripped = rec.name.replace("cusfft_", "").replace("thrust_", "")
+    overflow: list[str] = []
+    for name in names:
+        stripped = name.replace("cusfft_", "").replace("thrust_", "")
         pick = next(
-            (c for c in stripped + "0123456789" if c.isalnum() and c not in used),
-            "?",
+            (c for c in stripped + _POOL
+             if (c.isalnum() or c in _POOL) and c not in used),
+            None,
         )
-        symbols[rec.name] = pick
-        used.add(pick)
+        if pick is None:
+            overflow.append(name)
+            symbols[name] = "?"
+        else:
+            symbols[name] = pick
+            used.add(pick)
 
     streams: dict[int, list] = {}
     for rec in report.records:
@@ -148,6 +165,10 @@ def render_timeline(
             for i in range(lo, hi):
                 row[i] = ch
         lines.append(f"s{ordinal:<3d} |{''.join(row)}|")
-    legend = sorted(f"{sym}={name}" for name, sym in symbols.items())
+    legend = sorted(
+        f"{sym}={name}" for name, sym in symbols.items() if sym != "?"
+    )
+    if overflow:
+        legend.append(f"?={len(overflow)} more kernels")
     lines.append("legend: " + ", ".join(legend) + ", <=H2D, >=D2H")
     return "\n".join(lines)

@@ -64,6 +64,38 @@ class TimelineReport:
         """Sum of isolated kernel durations (the no-overlap lower bound)."""
         return sum(r.isolated_s for r in self.records if r.kind is OpKind.KERNEL)
 
+    def stream_ids(self) -> list[int]:
+        """Distinct stream ids appearing in the timeline, ascending."""
+        return sorted({r.stream_id for r in self.records})
+
+    def emit_metrics(self, registry, prefix: str = "cusim") -> None:
+        """Publish derived gauges/counters into a metrics registry.
+
+        ``registry`` is any :class:`~repro.obs.MetricsRegistry`-shaped
+        object (duck-typed to keep this module free of an obs dependency).
+        Names follow the ``<prefix>.<object>.<measure>`` scheme documented
+        in ``docs/observability.md``.
+        """
+        kernels = [r for r in self.records if r.kind is OpKind.KERNEL]
+        transfers = [
+            r for r in self.records if r.kind in (OpKind.H2D, OpKind.D2H)
+        ]
+        registry.gauge(f"{prefix}.timeline.makespan_s").set(self.makespan_s)
+        registry.gauge(f"{prefix}.timeline.kernel_time_s").set(
+            self.kernel_time_sum()
+        )
+        registry.gauge(f"{prefix}.timeline.max_concurrency").set(
+            self.max_concurrency()
+        )
+        registry.counter(f"{prefix}.launches").inc(len(kernels))
+        registry.counter(f"{prefix}.transfers").inc(len(transfers))
+        wire = sum(r.timing.wire_bytes for r in kernels if r.timing)
+        useful = sum(r.timing.useful_bytes for r in kernels if r.timing)
+        registry.counter(f"{prefix}.kernel.wire_bytes").inc(wire)
+        registry.gauge(f"{prefix}.kernel.coalescing_efficiency").set(
+            useful / wire if wire else 1.0
+        )
+
     def max_concurrency(self) -> int:
         """Peak number of simultaneously active operations."""
         edges: list[tuple[float, int]] = []

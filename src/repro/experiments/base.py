@@ -8,9 +8,10 @@ their seed, so EXPERIMENTS.md can quote exact numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from ..obs import Tracer, make_run_record, write_jsonl
 from ..utils.tables import format_table
 
 __all__ = [
@@ -53,6 +54,8 @@ class ExperimentResult:
     notes: tuple[str, ...] = field(default_factory=tuple)
     #: optional raw series for plotting: (x_values, {name: y_values})
     series: tuple | None = field(default=None, compare=False)
+    #: run-scoped tracer attached by :meth:`ExperimentSpec.run`
+    trace: Tracer | None = field(default=None, compare=False, repr=False)
 
     def render(self, *, plot: bool = False) -> str:
         """Aligned text table with notes appended; ``plot=True`` adds an
@@ -69,6 +72,22 @@ class ExperimentResult:
         if self.notes:
             out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
         return out
+
+    def to_run_record(self, **params) -> dict:
+        """This result as a ``repro.run/1`` record (see ``repro.obs``)."""
+        return make_run_record(
+            self.experiment_id,
+            params=params,
+            tracer=self.trace,
+            title=self.title,
+            headers=list(self.headers),
+            rows=[list(r) for r in self.rows],
+            notes=list(self.notes),
+        )
+
+    def write_jsonl(self, path, **params) -> None:
+        """Append this result to a JSONL run-record file."""
+        write_jsonl(path, self.to_run_record(**params))
 
     def to_markdown(self) -> str:
         """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
@@ -91,6 +110,27 @@ class ExperimentSpec:
     description: str
     runner: Callable[..., ExperimentResult]
 
-    def run(self, **options) -> ExperimentResult:
-        """Execute the experiment (options forwarded to the runner)."""
-        return self.runner(**options)
+    def run(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        jsonl_path=None,
+        **options,
+    ) -> ExperimentResult:
+        """Execute the experiment (options forwarded to the runner).
+
+        Every run is clocked under a run-scoped tracer (a fresh one unless
+        ``tracer`` is given) attached to the result as ``trace``; with
+        ``jsonl_path`` the result is also appended there as a run record.
+        """
+        tracer = tracer if tracer is not None else Tracer()
+        with tracer.span(self.experiment_id, category="experiment",
+                         paper_ref=self.paper_ref):
+            result = self.runner(**options)
+        result = replace(result, trace=tracer)
+        if jsonl_path is not None:
+            result.write_jsonl(jsonl_path, **{
+                k: v for k, v in options.items()
+                if isinstance(v, (str, int, float, bool))
+            })
+        return result

@@ -44,6 +44,7 @@ from ..cusim.memory_pool import DeviceMemoryPool
 from ..cusim.stream import Event
 from ..cusim.timeline import GpuSimulation, TimelineReport
 from ..errors import ParameterError
+from ..obs import MetricsRegistry, Tracer, emit_sfft_metrics, global_registry
 from ..perf.counts import sfft_step_counts
 from ..utils.rng import RngLike
 from ..utils.validation import as_complex_signal
@@ -158,11 +159,25 @@ class CusFFT:
     # functional execution                                               #
     # ------------------------------------------------------------------ #
 
-    def execute(self, x, *, seed: RngLike = None) -> CusfftRun:
+    def execute(
+        self,
+        x,
+        *,
+        seed: RngLike = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> CusfftRun:
         """Run the transform on real data; returns values and timeline.
 
         Checks the device memory budget first — shapes the physical card
         could not hold are rejected, as they would be on hardware.
+
+        Observability: the simulated timeline is ingested into ``tracer``
+        (one track per CUDA stream, Chrome-trace exportable) when one is
+        given, and the run's metrics — the same ``sfft.*`` names the CPU
+        reference emits, plus the ``cusim.*`` device gauges — are
+        published into ``metrics`` (default:
+        :func:`repro.obs.global_registry`).
         """
         self.device_footprint()
         plan = self.plan(seed)
@@ -209,6 +224,20 @@ class CusFFT:
             selected_per_loop=[int(s.size) for s in selected],
             hits=int(hits.size),
         )
+
+        registry = metrics if metrics is not None else global_registry()
+        emit_sfft_metrics(
+            registry,
+            B=B,
+            n=p.n,
+            selected_sizes=[int(s.size) for s in selected],
+            hits=hits,
+            votes=votes,
+            permutations=list(plan.permutations[: p.voting_loops]),
+        )
+        report.emit_metrics(registry)
+        if tracer is not None:
+            tracer.add_timeline(report)
         return CusfftRun(result=result, report=report)
 
     # ------------------------------------------------------------------ #

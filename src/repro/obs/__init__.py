@@ -1,0 +1,48 @@
+"""Unified observability: spans, metrics, and exporters.
+
+One subsystem serves the CPU reference (``repro.core.sfft``), the simulated
+GPU (``repro.gpu`` / ``repro.cusim``), and the benchmark/experiment harness:
+
+* :class:`Tracer` — nestable spans plus ingestion of simulated timelines,
+  exporting Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto);
+* :class:`MetricsRegistry` — thread-safe counters / gauges / histograms
+  under one ``sfft.*`` / ``cusim.*`` naming scheme;
+* run records — a JSONL schema (``repro.run/1``) benchmarks and experiments
+  persist, validated by ``scripts/check_bench_json.py`` in CI.
+
+See ``docs/observability.md`` for the naming scheme and schemas.
+"""
+
+from .export import (
+    RUN_RECORD_SCHEMA,
+    make_run_record,
+    render_obs_summary,
+    validate_run_record,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    emit_sfft_metrics,
+    global_registry,
+)
+from .trace import CPU_TRACK, Span, Tracer
+
+__all__ = [
+    "CPU_TRACK",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "emit_sfft_metrics",
+    "global_registry",
+    "RUN_RECORD_SCHEMA",
+    "make_run_record",
+    "render_obs_summary",
+    "validate_run_record",
+    "write_jsonl",
+]

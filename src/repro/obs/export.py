@@ -1,0 +1,190 @@
+"""Run records and text rendering — the reporting half of observability.
+
+A *run record* is one JSON object describing one measured run (a transform,
+an experiment, a benchmark row set): what ran, with which parameters, what
+it measured.  Records append to ``.jsonl`` files — one record per line —
+so sweeps accumulate machine-readable history alongside the human-readable
+tables, and ``scripts/check_bench_json.py`` can police the schema in CI.
+
+Schema ``repro.run/1`` (see ``docs/observability.md``):
+
+* ``schema`` — the literal ``"repro.run/1"``;
+* ``name`` — what ran (experiment id, ``"sfft"``, benchmark id);
+* ``params`` — JSON object of inputs (``n``, ``k``, config, ...);
+* ``metrics`` — :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` output;
+* ``spans`` — ``[{name, category, track, start_s, duration_s}, ...]``;
+* optional ``rows``/``headers``/``notes`` for table-shaped results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "RUN_RECORD_SCHEMA",
+    "make_run_record",
+    "write_jsonl",
+    "validate_run_record",
+    "render_obs_summary",
+]
+
+RUN_RECORD_SCHEMA = "repro.run/1"
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and containers into plain JSON types."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        value = value.item()
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, complex):
+        return {"re": value.real, "im": value.imag}
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if hasattr(value, "tolist"):
+        return _jsonify(value.tolist())
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonify(v) for v in value]
+    return str(value)
+
+
+def make_run_record(
+    name: str,
+    *,
+    params: dict | None = None,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    **extra,
+) -> dict:
+    """Assemble a schema-valid run record from the run's observability."""
+    record: dict[str, Any] = {
+        "schema": RUN_RECORD_SCHEMA,
+        "name": str(name),
+        "params": _jsonify(params or {}),
+        "metrics": _jsonify(registry.snapshot()) if registry is not None else {},
+        "spans": [
+            {
+                "name": sp.name,
+                "category": sp.category,
+                "track": sp.track,
+                "start_s": sp.start_s,
+                "duration_s": sp.duration_s,
+            }
+            for sp in (tracer.spans if tracer is not None else [])
+        ],
+    }
+    for key, value in extra.items():
+        record[key] = _jsonify(value)
+    return record
+
+
+def write_jsonl(path, record: dict) -> None:
+    """Append one run record to a ``.jsonl`` file (one JSON doc per line)."""
+    problems = validate_run_record(record)
+    if problems:
+        raise ValueError(f"refusing to write invalid run record: {problems}")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def validate_run_record(record: Any) -> list[str]:
+    """Check one run record against ``repro.run/1``; returns problems.
+
+    An empty list means the record is valid.  Shared by the library (which
+    refuses to persist invalid records) and ``scripts/check_bench_json.py``
+    (which polices committed artifacts in CI).
+    """
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be a JSON object, got {type(record).__name__}"]
+    if record.get("schema") != RUN_RECORD_SCHEMA:
+        problems.append(
+            f"schema must be {RUN_RECORD_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("name must be a non-empty string")
+    if not isinstance(record.get("params"), dict):
+        problems.append("params must be an object")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        for mname, state in metrics.items():
+            if not isinstance(state, dict) or "kind" not in state:
+                problems.append(f"metric {mname!r} must be an object with 'kind'")
+    spans = record.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans must be an array")
+    else:
+        for i, sp in enumerate(spans):
+            if not isinstance(sp, dict):
+                problems.append(f"spans[{i}] must be an object")
+                continue
+            for key in ("name", "start_s", "duration_s"):
+                if key not in sp:
+                    problems.append(f"spans[{i}] missing {key!r}")
+            for key in ("start_s", "duration_s"):
+                val = sp.get(key)
+                if isinstance(val, (int, float)) and val < 0:
+                    problems.append(f"spans[{i}].{key} must be >= 0, got {val}")
+    return problems
+
+
+def render_obs_summary(
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    *,
+    title: str = "observability summary",
+) -> str:
+    """Human-readable digest of a run's spans and metrics.
+
+    Subsumes the old per-kernel text summary: span names aggregate exactly
+    like kernel names (calls, total, share), and the metrics section prints
+    every registered instrument.  The nvprof-flavoured
+    :func:`~repro.cusim.profiler.render_summary` remains for
+    timeline-specific fields (coalescing, transfers).
+    """
+    from ..utils.tables import format_seconds, format_table
+
+    lines: list[str] = []
+    if tracer is not None and tracer.spans:
+        groups: dict[str, list] = {}
+        for sp in tracer.spans:
+            groups.setdefault(sp.name, []).append(sp)
+        total = sum(sp.duration_s for sp in tracer.spans)
+        rows = [
+            [
+                name,
+                len(sps),
+                format_seconds(sum(s.duration_s for s in sps)),
+                f"{100 * sum(s.duration_s for s in sps) / total:.1f}%"
+                if total > 0
+                else "-",
+            ]
+            for name, sps in sorted(
+                groups.items(),
+                key=lambda kv: -sum(s.duration_s for s in kv[1]),
+            )
+        ]
+        lines.append(
+            format_table(["span", "calls", "total", "share"], rows, title=title)
+        )
+    if registry is not None and registry.names():
+        snap = registry.snapshot()
+        mrows = []
+        for name in registry.names():
+            state = dict(snap[name])
+            kind = state.pop("kind")
+            desc = ", ".join(f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                             for k, v in state.items())
+            mrows.append([name, kind, desc])
+        lines.append(format_table(["metric", "kind", "value"], mrows,
+                                  title="metrics"))
+    if not lines:
+        return "(no observability data)"
+    return "\n\n".join(lines)

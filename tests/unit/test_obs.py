@@ -1,0 +1,253 @@
+"""Unit tests for the observability layer: tracer, metrics, exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    CPU_TRACK,
+    MetricsRegistry,
+    Tracer,
+    global_registry,
+    make_run_record,
+    render_obs_summary,
+    validate_run_record,
+    write_jsonl,
+)
+
+
+class FakeClock:
+    """Deterministic injectable clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def tick(self, dt):
+        self.now += dt
+
+    def __call__(self):
+        return self.now
+
+
+class TestTracer:
+    def test_span_records_duration(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("work"):
+            clock.tick(0.5)
+        (sp,) = tr.spans
+        assert sp.name == "work"
+        assert sp.duration_s == pytest.approx(0.5)
+        assert sp.track == CPU_TRACK
+
+    def test_nesting_depth(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                clock.tick(0.1)
+            clock.tick(0.1)
+        by_name = {sp.name: sp for sp in tr.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        # inner completes first; outer covers it
+        assert by_name["outer"].duration_s >= by_name["inner"].duration_s
+
+    def test_span_records_on_exception(self):
+        tr = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert [sp.name for sp in tr.spans] == ["boom"]
+
+    def test_durations_sums_repeats(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        for _ in range(3):
+            with tr.span("step"):
+                clock.tick(0.2)
+        assert tr.durations()["step"] == pytest.approx(0.6)
+
+    def test_add_span_rejects_negative(self):
+        tr = Tracer()
+        with pytest.raises(ParameterError):
+            tr.add_span("bad", start_s=-1.0, duration_s=0.1)
+        with pytest.raises(ParameterError):
+            tr.add_span("bad", start_s=0.0, duration_s=-0.1)
+
+    def test_thread_safety_smoke(self):
+        tr = Tracer()
+
+        def worker():
+            for i in range(100):
+                tr.add_span(f"t{i}", start_s=0.0, duration_s=0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.spans) == 400
+
+
+class TestChromeExport:
+    def test_empty_tracer_still_valid_json(self):
+        doc = json.loads(Tracer().export_chrome_trace())
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_events_nonnegative_and_typed(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("a"):
+            clock.tick(0.25)
+        tr.add_span("zero", start_s=0.5, duration_s=0.0, track="stream0")
+        doc = json.loads(tr.export_chrome_trace())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(events) == 2
+        for e in events:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_one_tid_per_track_cpu_is_zero(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("cpu_step"):
+            pass
+        tr.add_span("k1", start_s=0.0, duration_s=1.0, track="stream0")
+        tr.add_span("k2", start_s=0.0, duration_s=1.0, track="stream1")
+        doc = json.loads(tr.export_chrome_trace())
+        xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        tid = {e["name"]: e["tid"] for e in xs}
+        assert tid["cpu_step"] == 0
+        assert tid["k1"] != tid["k2"] and 0 not in (tid["k1"], tid["k2"])
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert names[tid["k1"]] == "stream0"
+
+    def test_export_writes_file(self, tmp_path):
+        tr = Tracer(clock=FakeClock())
+        tr.add_span("x", start_s=0.0, duration_s=1.0)
+        path = tmp_path / "trace.json"
+        text = tr.export_chrome_trace(path)
+        assert json.loads(path.read_text()) == json.loads(text)
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2)
+        assert reg.counter("c").value == 3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        reg.gauge("g").set(7.5)
+        assert reg.gauge("g").value == 7.5
+
+    def test_histogram_snapshot_stats(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe_many([1, 2, 3])
+        snap = reg.snapshot()["h"]
+        assert snap["count"] == 3 and snap["min"] == 1 and snap["max"] == 3
+        assert snap["mean"] == pytest.approx(2.0)
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ParameterError):
+            reg.gauge("x")
+
+    def test_names_sorted_and_reset(self):
+        reg = MetricsRegistry()
+        reg.gauge("b.z").set(1)
+        reg.counter("a.a")
+        assert reg.names() == ["a.a", "b.z"]
+        reg.reset()
+        assert reg.names() == []
+
+    def test_global_registry_is_singleton(self):
+        assert global_registry() is global_registry()
+
+    def test_thread_safety_smoke(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(500):
+                reg.counter("n").inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n").value == 2000
+
+
+class TestRunRecords:
+    def _record(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("step"):
+            clock.tick(0.1)
+        reg = MetricsRegistry()
+        reg.gauge("sfft.recovery.hits").set(4)
+        return make_run_record("demo", params={"n": 16}, tracer=tr,
+                               registry=reg)
+
+    def test_valid_record_passes(self):
+        assert validate_run_record(self._record()) == []
+
+    def test_record_is_json_serializable(self):
+        json.dumps(self._record())
+
+    def test_numpy_values_coerced(self):
+        import numpy as np
+
+        rec = make_run_record(
+            "np", params={"n": np.int64(8), "err": np.float64(0.5)},
+            rows=[[np.int32(1), np.complex128(1 + 2j)]],
+        )
+        text = json.dumps(rec)
+        assert '"n":8' in text.replace(" ", "")
+
+    def test_validate_catches_problems(self):
+        assert validate_run_record([]) != []
+        assert validate_run_record({"schema": "nope"}) != []
+        bad = self._record()
+        bad["spans"][0]["duration_s"] = -1
+        assert any("duration_s" in p for p in validate_run_record(bad))
+
+    def test_write_jsonl_appends(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        write_jsonl(path, self._record())
+        write_jsonl(path, self._record())
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(validate_run_record(json.loads(l)) == [] for l in lines)
+
+    def test_write_jsonl_refuses_invalid(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_jsonl(tmp_path / "x.jsonl", {"schema": "wrong"})
+
+
+class TestRenderObsSummary:
+    def test_renders_spans_and_metrics(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("alpha"):
+            clock.tick(1.0)
+        reg = MetricsRegistry()
+        reg.counter("sfft.collisions").inc(3)
+        out = render_obs_summary(tr, reg)
+        assert "alpha" in out and "sfft.collisions" in out
+
+    def test_empty_inputs(self):
+        assert "no observability data" in render_obs_summary(None, None)

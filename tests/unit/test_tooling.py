@@ -62,6 +62,56 @@ class TestRenderTimeline:
                 body = line.split("|")[1]
                 assert len(body) == 40
 
+    def test_single_record_timeline(self):
+        sim = GpuSimulation(KEPLER_K20X, host_launch_gap_s=0.0)
+        sim.launch(sim.stream(), KernelSpec("solo", 56, 256,
+                                            flops_per_thread=1e5))
+        out = render_timeline(sim.run())
+        assert "s0" in out and "solo" in out
+
+    def test_zero_duration_op_renders(self):
+        sim = GpuSimulation(KEPLER_K20X, host_launch_gap_s=0.0)
+        s = sim.stream()
+        sim.launch(s, KernelSpec("real", 56, 256, flops_per_thread=1e5))
+        sim.host_work(s, "instant", 0.0)
+        out = render_timeline(sim.run())
+        assert "real" in out  # no crash, kernel still painted
+
+    def test_many_kernel_names_unique_symbols(self):
+        # Far more distinct names than any single preference letter could
+        # cover: every assigned symbol must still be unique.
+        sim = GpuSimulation(KEPLER_K20X, host_launch_gap_s=0.0)
+        s = sim.stream()
+        for i in range(40):
+            sim.launch(s, KernelSpec(f"k_{i:02d}", 1, 32,
+                                     flops_per_thread=100))
+        out = render_timeline(sim.run(), max_rows=50)
+        legend = out.splitlines()[-1]
+        entries = [p.strip() for p in legend.replace("legend: ", "")
+                   .split(", ")]
+        syms = [e.split("=")[0] for e in entries if "=" in e
+                and not e.startswith("<") and not e.startswith(">")]
+        assert len(syms) == len(set(syms)), f"duplicate symbols: {syms}"
+
+    def test_symbol_overflow_grouped_not_ambiguous(self):
+        # More kernel names than the whole symbol pool: overflow names
+        # share '?' and the legend says so once, instead of listing
+        # ambiguous duplicate entries.
+        sim = GpuSimulation(KEPLER_K20X, host_launch_gap_s=0.0)
+        s = sim.stream()
+        for i in range(90):
+            sim.launch(s, KernelSpec(f"x{i:03d}", 1, 32,
+                                     flops_per_thread=100))
+        out = render_timeline(sim.run(), max_rows=100)
+        legend = out.splitlines()[-1]
+        assert legend.count("?=") == 1
+        assert "more kernels" in legend
+
+    def test_symbol_assignment_deterministic(self):
+        a = render_timeline(_small_report())
+        b = render_timeline(_small_report())
+        assert a.splitlines()[-1] == b.splitlines()[-1]
+
 
 class TestPlanSerialization:
     def test_roundtrip_identical_results(self, tmp_path):
@@ -107,3 +157,76 @@ class TestPackageDemo:
 
         assert main(["14"]) == 0
         assert "2^14" in capsys.readouterr().out
+
+    def test_malformed_n_log2_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["not_a_number"]) == 2
+        assert "n_log2 must be an integer" in capsys.readouterr().err
+
+    def test_malformed_k_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["12", "sixty-four"]) == 2
+        assert "k must be an integer" in capsys.readouterr().err
+
+    def test_out_of_range_n_log2_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["99"]) == 2
+        assert "n_log2 must be in" in capsys.readouterr().err
+
+    def test_k_not_below_n_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["4", "16"]) == 2
+        assert "must be smaller than n" in capsys.readouterr().err
+
+
+class TestCheckBenchJson:
+    """The scripts/check_bench_json.py artifact validator."""
+
+    @staticmethod
+    def _load():
+        import importlib.util
+        from pathlib import Path
+
+        path = (Path(__file__).resolve().parents[2] / "scripts"
+                / "check_bench_json.py")
+        spec = importlib.util.spec_from_file_location("check_bench_json", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_valid_jsonl_passes(self, tmp_path, capsys):
+        from repro.obs import Tracer, make_run_record, write_jsonl
+
+        mod = self._load()
+        path = tmp_path / "runs.jsonl"
+        write_jsonl(path, make_run_record("x", tracer=Tracer()))
+        assert mod.main([str(path)]) == 0
+
+    def test_invalid_jsonl_fails(self, tmp_path, capsys):
+        mod = self._load()
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "wrong"}\nnot json at all\n')
+        assert mod.main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "schema" in err and "not JSON" in err
+
+    def test_bench_json_pytest_benchmark_shape(self, tmp_path):
+        import json
+
+        mod = self._load()
+        good = tmp_path / "BENCH_fig5a.json"
+        good.write_text(json.dumps(
+            {"benchmarks": [{"name": "b", "stats": {"mean": 1.0}}]}
+        ))
+        assert mod.main([str(good)]) == 0
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"benchmarks": [{"no_name": 1}]}))
+        assert mod.main([str(bad)]) == 1
+
+    def test_missing_file_is_usage_error(self, capsys):
+        mod = self._load()
+        assert mod.main(["/nonexistent/nope.jsonl"]) == 2
