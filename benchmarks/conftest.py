@@ -9,6 +9,7 @@ artifact end to end.
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
@@ -16,12 +17,19 @@ import pytest
 
 from repro.core import SfftPlan, make_plan
 from repro.experiments import run_experiment
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, Tracer, append_trajectory
 from repro.signals import SparseSignal, make_sparse_signal
 
 #: Where run records accumulate (one JSON line per experiment printed).
 #: Override with REPRO_BENCH_JSONL; set it empty to disable persistence.
 BENCH_JSONL = os.environ.get("REPRO_BENCH_JSONL", "BENCH_RUNS.jsonl")
+
+#: Where the performance trajectory accumulates (one point per run record
+#: this session appended).  Override with REPRO_BENCH_TRAJECTORY; set it
+#: empty to disable.
+BENCH_TRAJECTORY = os.environ.get(
+    "REPRO_BENCH_TRAJECTORY", "BENCH_TRAJECTORY.json"
+)
 
 #: Sizes the functional (real wall-clock) benchmarks run at.
 REAL_N = 1 << 18
@@ -66,6 +74,54 @@ def print_experiment(experiment_id: str, **options) -> None:
     result = run_experiment(experiment_id, **options)
     print()
     print(result.render())
+
+
+def _count_lines(path: str) -> int:
+    if not os.path.exists(path):
+        return 0
+    with open(path, encoding="utf-8") as fh:
+        return sum(1 for _ in fh)
+
+
+def pytest_sessionstart(session):
+    """Remember how many run records predate this bench session."""
+    session.config._repro_bench_start_lines = (
+        _count_lines(BENCH_JSONL) if BENCH_JSONL else 0
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's run records to the performance trajectory.
+
+    Only records the session itself appended to ``BENCH_JSONL`` become
+    trajectory points, so re-running benchmarks never duplicates history.
+    Best-effort: a malformed artifact warns instead of failing the session.
+    """
+    if not (BENCH_JSONL and BENCH_TRAJECTORY):
+        return
+    if not os.path.exists(BENCH_JSONL):
+        return
+    start = getattr(session.config, "_repro_bench_start_lines", 0)
+    records = []
+    with open(BENCH_JSONL, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh):
+            if lineno < start or not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                return  # leave the broken file for check_bench_json to name
+    if not records:
+        return
+    try:
+        appended = append_trajectory(
+            BENCH_TRAJECTORY, records, session="bench"
+        )
+    except (OSError, ValueError) as exc:
+        print(f"\n[repro] trajectory not updated: {exc}")
+        return
+    if appended:
+        print(f"\n[repro] appended {appended} point(s) to {BENCH_TRAJECTORY}")
 
 
 @pytest.fixture

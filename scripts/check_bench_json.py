@@ -12,8 +12,13 @@ With no paths, scans the repository root for ``BENCH_*.json`` files and
 * ``.jsonl`` lines must be valid ``repro.run/1`` records (see
   ``repro.obs.validate_run_record`` — one schema, shared with the library
   so CI and the writer cannot drift);
-* ``BENCH_*.json`` in pytest-benchmark format (a top-level ``benchmarks``
-  array) must give every entry a ``name`` and ``stats``.
+* ``BENCH_*.json`` declaring ``"schema": "repro.baseline/1"`` or
+  ``"repro.trajectory/1"`` (the regression-gate artifacts
+  ``BENCH_BASELINE.json`` / ``BENCH_TRAJECTORY.json``) are validated with
+  the shared ``repro.obs`` validators, which name the offending entry /
+  point index in every message;
+* other ``BENCH_*.json`` in pytest-benchmark format (a top-level
+  ``benchmarks`` array) must give every entry a ``name`` and ``stats``.
 
 Exit codes: 0 all valid (or nothing to check), 1 validation failures,
 2 usage/IO errors.
@@ -30,7 +35,13 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(_HERE)
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
-from repro.obs import validate_run_record  # noqa: E402
+from repro.obs import (  # noqa: E402
+    BASELINE_SCHEMA,
+    TRAJECTORY_SCHEMA,
+    validate_baseline,
+    validate_run_record,
+    validate_trajectory,
+)
 
 
 def check_jsonl(path: str) -> list[str]:
@@ -59,6 +70,12 @@ def check_bench_json(path: str) -> list[str]:
     except json.JSONDecodeError as exc:
         return [f"{path}: not JSON ({exc})"]
     problems: list[str] = []
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    basename = os.path.basename(path)
+    if schema == BASELINE_SCHEMA or basename == "BENCH_BASELINE.json":
+        return [f"{path}: {p}" for p in validate_baseline(doc)]
+    if schema == TRAJECTORY_SCHEMA or basename == "BENCH_TRAJECTORY.json":
+        return [f"{path}: {p}" for p in validate_trajectory(doc)]
     if isinstance(doc, dict) and "benchmarks" in doc:
         entries = doc["benchmarks"]
         if not isinstance(entries, list):

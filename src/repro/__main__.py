@@ -1,8 +1,8 @@
-"""Package-level demo: ``python -m repro [n_log2] [k]``.
+"""Package-level CLI: ``python -m repro [n_log2] [k]`` / ``python -m repro report``.
 
-Runs one end-to-end sparse transform (default n = 2^18, k = 64), checks it
-against the dense FFT, and shows the simulated cusFFT kernel timeline —
-a 10-second tour of what the library does.
+The default (demo) form runs one end-to-end sparse transform (default
+n = 2^18, k = 64), checks it against the dense FFT, and shows the simulated
+cusFFT kernel timeline — a 10-second tour of what the library does.
 
 Observability flags:
 
@@ -10,15 +10,26 @@ Observability flags:
   steps on one track, each simulated CUDA stream on its own) for
   ``chrome://tracing`` / https://ui.perfetto.dev;
 * ``--json`` — emit a machine-readable ``repro.run/1`` record instead of
-  the human text (one JSON document on stdout).
+  the human text (one JSON document on stdout), including a ``gate`` block
+  judging this run against ``BENCH_BASELINE.json`` when one exists
+  (``"baseline": null`` otherwise).
 
-Exit codes: 0 success, 1 incomplete recovery, 2 malformed arguments.
+``python -m repro report`` is the terminal dashboard over the committed
+performance artifacts: trajectory sparklines per experiment
+(``BENCH_TRAJECTORY.json``), the gate verdict of the latest run records
+against the baseline, and the per-step self-time attribution of the most
+recent record (``--flame PATH`` additionally writes a flamegraph
+collapsed-stack file).
+
+Exit codes: 0 success, 1 incomplete recovery (demo), 2 malformed
+arguments / unreadable artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -27,7 +38,19 @@ import numpy as np
 from . import make_sparse_signal, sfft
 from .cusim import render_summary, render_timeline
 from .gpu import OPTIMIZED, CusFFT
-from .obs import MetricsRegistry, Tracer, make_run_record, render_obs_summary
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    collapsed_stacks,
+    compare_to_baseline,
+    make_run_record,
+    render_attribution,
+    render_obs_summary,
+    render_trajectory_dashboard,
+    render_verdict,
+    validate_baseline,
+    validate_trajectory,
+)
 
 #: n = 2^n_log2 must stay addressable and fit comfortably in host memory.
 _MIN_LOG2, _MAX_LOG2 = 4, 26
@@ -76,11 +99,172 @@ def _sparsity_arg(text: str) -> int:
     return value
 
 
+def _load_json(path: str, what: str):
+    """Load a JSON artifact; returns (doc, error message or None)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh), None
+    except json.JSONDecodeError as exc:
+        return None, f"error: {what} {path!r} is not JSON ({exc})"
+    except OSError as exc:
+        return None, f"error: cannot read {what} {path!r}: {exc}"
+
+
+def _gate_block(record: dict, baseline_path: str | None = None) -> dict:
+    """The ``gate`` block of a ``--json`` demo record.
+
+    ``{"baseline": null}`` when no baseline document exists; otherwise the
+    verdict of judging this one record against it.
+    """
+    path = baseline_path or os.environ.get(
+        "REPRO_BENCH_BASELINE", "BENCH_BASELINE.json"
+    )
+    if not os.path.exists(path):
+        return {"baseline": None}
+    doc, err = _load_json(path, "baseline")
+    if doc is None or validate_baseline(doc):
+        return {"baseline": path, "error": err or "invalid baseline document"}
+    verdict = compare_to_baseline(doc, [record])
+    return {"baseline": path, **verdict.to_json()}
+
+
+def _build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Terminal dashboard over the performance artifacts.",
+    )
+    parser.add_argument("--runs", default="BENCH_RUNS.jsonl",
+                        help="run-record JSONL to judge and attribute")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline document (default: "
+                             "$REPRO_BENCH_BASELINE or BENCH_BASELINE.json)")
+    parser.add_argument("--trajectory", default="BENCH_TRAJECTORY.json")
+    parser.add_argument("--flame", metavar="PATH",
+                        help="write flamegraph collapsed stacks of the "
+                             "latest record's spans")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable report document")
+    return parser
+
+
+def report_main(argv: list[str]) -> int:
+    """``python -m repro report`` — trajectory + gate + attribution views."""
+    parser = _build_report_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    baseline_path = args.baseline or os.environ.get(
+        "REPRO_BENCH_BASELINE", "BENCH_BASELINE.json"
+    )
+    baseline = trajectory = None
+    if os.path.exists(baseline_path):
+        baseline, err = _load_json(baseline_path, "baseline")
+        if baseline is None:
+            print(err, file=sys.stderr)
+            return 2
+        problems = validate_baseline(baseline)
+        if problems:
+            print(f"error: invalid baseline {baseline_path!r}: "
+                  f"{problems[0]}", file=sys.stderr)
+            return 2
+    if os.path.exists(args.trajectory):
+        trajectory, err = _load_json(args.trajectory, "trajectory")
+        if trajectory is None:
+            print(err, file=sys.stderr)
+            return 2
+        problems = validate_trajectory(trajectory)
+        if problems:
+            print(f"error: invalid trajectory {args.trajectory!r}: "
+                  f"{problems[0]}", file=sys.stderr)
+            return 2
+
+    records: list[dict] = []
+    if os.path.exists(args.runs):
+        with open(args.runs, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    print(f"error: {args.runs}:{lineno}: not JSON ({exc})",
+                          file=sys.stderr)
+                    return 2
+
+    verdict = None
+    if baseline is not None and records:
+        verdict = compare_to_baseline(baseline, records)
+
+    latest = records[-1] if records else None
+    flame_lines: list[str] = []
+    if latest is not None:
+        flame_lines = collapsed_stacks(latest.get("spans") or [])
+    if args.flame:
+        if not flame_lines:
+            print("error: no spans to export for --flame", file=sys.stderr)
+            return 2
+        try:
+            with open(args.flame, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(flame_lines) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.flame!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if args.as_json:
+        doc = {
+            "schema": "repro.report/1",
+            "trajectory_points": len((trajectory or {}).get("points", [])),
+            "runs": len(records),
+            "verdict": verdict.to_json() if verdict is not None else None,
+            "collapsed_stacks": flame_lines,
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+
+    sections: list[str] = []
+    if trajectory is not None:
+        sections.append(
+            render_trajectory_dashboard(trajectory, baseline=baseline)
+        )
+    if verdict is not None:
+        sections.append(render_verdict(verdict))
+    if latest is not None:
+        key_meta = latest.get("name", "?")
+        entry = None
+        if baseline is not None:
+            from .obs.regress import run_key
+
+            key, _ = run_key(latest)
+            entry = baseline.get("entries", {}).get(key)
+        sections.append(render_attribution(
+            latest.get("spans") or [],
+            metrics=latest.get("metrics") or {},
+            baseline_entry=entry,
+            title=f"per-step attribution: {key_meta}",
+        ))
+    if not sections:
+        print("(no observability artifacts found — run the benchmarks, "
+              "then scripts/bench_gate.py)")
+        return 0
+    print("\n\n".join(sections))
+    if args.flame:
+        print(f"\ncollapsed stacks written to {args.flame} "
+              f"(feed to flamegraph.pl or speedscope)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["report"]:
+        return report_main(argv[1:])
     parser = _build_parser()
     try:
-        args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+        args = parser.parse_args(argv)
     except SystemExit as exc:
         # argparse already printed the clear message; surface its code
         # (2 for usage errors) instead of letting SystemExit unwind.
@@ -132,6 +316,9 @@ def main(argv: list[str] | None = None) -> int:
                 "modeled_gpu_s": run.modeled_time_s,
             },
         )
+        # One document per run: downstream tooling gets the gate verdict
+        # (or the explicit absence of a baseline) alongside the record.
+        record["gate"] = _gate_block(record)
         print(json.dumps(record, indent=2))
         return 0 if ok else 1
 

@@ -14,7 +14,13 @@ from .memory import (
     useful_bytes,
     wire_bytes,
 )
-from .profiler import KernelSummary, render_summary, render_timeline, summarize
+from .profiler import (
+    KernelSummary,
+    kernel_self_times,
+    render_summary,
+    render_timeline,
+    summarize,
+)
 from .simt import SimtReport, VBuffer, WarpContext, simt_price, simt_run
 from .shared import (
     SharedAccess,
@@ -59,6 +65,7 @@ __all__ = [
     "measure_bank_conflicts",
     "shared_time",
     "KernelSummary",
+    "kernel_self_times",
     "render_summary",
     "render_timeline",
     "summarize",

@@ -16,7 +16,13 @@ from ..utils.tables import format_seconds, format_table
 from .stream import OpKind
 from .timeline import TimelineReport
 
-__all__ = ["KernelSummary", "summarize", "render_summary", "render_timeline"]
+__all__ = [
+    "KernelSummary",
+    "summarize",
+    "kernel_self_times",
+    "render_summary",
+    "render_timeline",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +64,35 @@ def summarize(report: TimelineReport) -> list[KernelSummary]:
         )
     out.sort(key=lambda s: s.total_s, reverse=True)
     return out
+
+
+def kernel_self_times(report: TimelineReport) -> list[tuple[str, str, float]]:
+    """Per-(stream, kernel) *self* time for collapsed-stack exports.
+
+    Under the processor-sharing model, a record's ``isolated_s`` is exactly
+    the integral of its progress rate over its wall interval — the time
+    attributable to the kernel itself, excluding slowdown from contention.
+    That makes it the right "self" value for flamegraph attribution (the
+    wall interval ``span_s`` would double-count overlap).
+
+    Returns ``(stream label, kernel name, self seconds)`` triples, streams
+    labelled ordinally (``stream0``, ``stream1``, ...) exactly as
+    :func:`render_timeline` and :meth:`~repro.obs.trace.Tracer.add_timeline`
+    label them, sorted by stream then descending self time.
+    """
+    ordinals = {sid: i for i, sid in enumerate(report.stream_ids())}
+    agg: dict[tuple[int, str], float] = {}
+    for rec in report.records:
+        if rec.kind is not OpKind.KERNEL:
+            continue
+        key = (ordinals[rec.stream_id], rec.name)
+        agg[key] = agg.get(key, 0.0) + rec.isolated_s
+    return [
+        (f"stream{ordinal}", name, self_s)
+        for (ordinal, name), self_s in sorted(
+            agg.items(), key=lambda kv: (kv[0][0], -kv[1])
+        )
+    ]
 
 
 def render_summary(report: TimelineReport, title: str = "GPU kernel summary") -> str:

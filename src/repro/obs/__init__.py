@@ -8,7 +8,12 @@ GPU (``repro.gpu`` / ``repro.cusim``), and the benchmark/experiment harness:
 * :class:`MetricsRegistry` — thread-safe counters / gauges / histograms
   under one ``sfft.*`` / ``cusim.*`` naming scheme;
 * run records — a JSONL schema (``repro.run/1``) benchmarks and experiments
-  persist, validated by ``scripts/check_bench_json.py`` in CI.
+  persist, validated by ``scripts/check_bench_json.py`` in CI;
+* baselines & trajectories — versioned snapshots (``repro.baseline/1``) and
+  append-only history (``repro.trajectory/1``) of run-record metrics, with
+  a noise-aware regression gate (``scripts/bench_gate.py``);
+* attribution reports — per-span self-time tables, flamegraph
+  collapsed-stack export, and trajectory sparkline dashboards.
 
 See ``docs/observability.md`` for the naming scheme and schemas.
 """
@@ -28,6 +33,27 @@ from .metrics import (
     emit_sfft_metrics,
     global_registry,
 )
+from .regress import (
+    BASELINE_SCHEMA,
+    TRAJECTORY_SCHEMA,
+    GateConfig,
+    GateVerdict,
+    MetricCheck,
+    append_trajectory,
+    compare_to_baseline,
+    make_baseline,
+    make_trajectory_points,
+    render_verdict,
+    validate_baseline,
+    validate_trajectory,
+)
+from .report import (
+    collapsed_stacks,
+    render_attribution,
+    render_trajectory_dashboard,
+    self_time_rows,
+    sparkline,
+)
 from .trace import CPU_TRACK, Span, Tracer
 
 __all__ = [
@@ -45,4 +71,21 @@ __all__ = [
     "render_obs_summary",
     "validate_run_record",
     "write_jsonl",
+    "BASELINE_SCHEMA",
+    "TRAJECTORY_SCHEMA",
+    "GateConfig",
+    "GateVerdict",
+    "MetricCheck",
+    "append_trajectory",
+    "compare_to_baseline",
+    "make_baseline",
+    "make_trajectory_points",
+    "render_verdict",
+    "validate_baseline",
+    "validate_trajectory",
+    "collapsed_stacks",
+    "render_attribution",
+    "render_trajectory_dashboard",
+    "self_time_rows",
+    "sparkline",
 ]

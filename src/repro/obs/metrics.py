@@ -97,12 +97,30 @@ class Histogram:
         with self._lock:
             self.samples.extend(vals)
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100, linear interpolation).
+
+        Raises :class:`~repro.errors.ParameterError` on an empty histogram
+        or a ``q`` outside [0, 100].
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ParameterError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            s = list(self.samples)
+        if not s:
+            raise ParameterError(
+                f"histogram {self.name!r} has no samples to take a "
+                f"percentile of"
+            )
+        return float(np.percentile(s, q))
+
     def snapshot(self) -> dict:
-        """JSON-ready summary statistics."""
+        """JSON-ready summary statistics (incl. p50/p90/p99)."""
         with self._lock:
             s = list(self.samples)
         if not s:
             return {"kind": self.kind, "count": 0}
+        p50, p90, p99 = (float(v) for v in np.percentile(s, [50, 90, 99]))
         return {
             "kind": self.kind,
             "count": len(s),
@@ -110,6 +128,9 @@ class Histogram:
             "min": float(min(s)),
             "max": float(max(s)),
             "mean": float(sum(s) / len(s)),
+            "p50": p50,
+            "p90": p90,
+            "p99": p99,
         }
 
 

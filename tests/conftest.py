@@ -25,6 +25,23 @@ def cached_plan(n: int, k: int, seed: int = 1234, **overrides) -> SfftPlan:
     return _PLAN_CACHE[key]
 
 
+@pytest.fixture(autouse=True)
+def fresh_global_registry():
+    """Reset the process-wide metrics registry around every test.
+
+    Profiled runs that are not handed an explicit registry report into
+    ``repro.obs.global_registry()``; without this reset, counters and
+    histograms accumulated by one test would leak into the assertions of
+    the next (and kind conflicts could surface in whichever test happens
+    to run second).
+    """
+    from repro.obs import global_registry
+
+    global_registry().reset()
+    yield
+    global_registry().reset()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic per-test generator."""

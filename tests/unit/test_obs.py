@@ -159,6 +159,31 @@ class TestMetricsRegistry:
         assert snap["count"] == 3 and snap["min"] == 1 and snap["max"] == 3
         assert snap["mean"] == pytest.approx(2.0)
 
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe_many(range(1, 101))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(0) == 1 and h.percentile(100) == 100
+        assert h.percentile(99) == pytest.approx(99.01)
+
+    def test_histogram_percentile_rejects_bad_input(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ParameterError):
+            h.percentile(50)  # empty
+        h.observe(1.0)
+        for q in (-1, 101):
+            with pytest.raises(ParameterError):
+                h.percentile(q)
+
+    def test_histogram_snapshot_includes_percentiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe_many(range(1, 101))
+        snap = reg.snapshot()["h"]
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p90"] == pytest.approx(90.1)
+        assert snap["p99"] == pytest.approx(99.01)
+
     def test_kind_conflict_rejected(self):
         reg = MetricsRegistry()
         reg.counter("x")
@@ -175,6 +200,17 @@ class TestMetricsRegistry:
 
     def test_global_registry_is_singleton(self):
         assert global_registry() is global_registry()
+
+    # Two identical probes: whichever runs second proves the autouse
+    # fresh_global_registry fixture (tests/conftest.py) reset the
+    # singleton the first one dirtied.
+    def test_global_registry_isolated_probe_a(self):
+        assert global_registry().names() == []
+        global_registry().counter("tests.leak_probe").inc()
+
+    def test_global_registry_isolated_probe_b(self):
+        assert global_registry().names() == []
+        global_registry().counter("tests.leak_probe").inc()
 
     def test_thread_safety_smoke(self):
         reg = MetricsRegistry()

@@ -107,6 +107,32 @@ class TestRenderTimeline:
         assert legend.count("?=") == 1
         assert "more kernels" in legend
 
+    def _legend_for(self, n_names):
+        sim = GpuSimulation(KEPLER_K20X, host_launch_gap_s=0.0)
+        s = sim.stream()
+        for i in range(n_names):
+            sim.launch(s, KernelSpec(f"x{i:03d}", 1, 32,
+                                     flops_per_thread=100))
+        return render_timeline(sim.run(), max_rows=100).splitlines()[-1]
+
+    def test_pool_boundary_exact_fit_has_no_overflow(self):
+        # The symbol pool holds exactly 75 glyphs (26+26+10+13); with
+        # exactly that many distinct kernel names every name still gets
+        # its own symbol and no overflow group appears.
+        legend = self._legend_for(75)
+        assert "?=" not in legend
+        # Every entry is "<one-char symbol>=<name>" (the pool itself
+        # contains '='), so the symbol is always the first character.
+        syms = [e[0] for e in legend.replace("legend: ", "").split(", ")
+                if "=" in e and not e.startswith("<")
+                and not e.startswith(">")]
+        assert len(syms) == 75 and len(set(syms)) == 75
+
+    def test_pool_boundary_one_past_overflows_by_one(self):
+        legend = self._legend_for(76)
+        assert "?=1 more kernels" in legend
+        assert legend.count("?=") == 1
+
     def test_symbol_assignment_deterministic(self):
         a = render_timeline(_small_report())
         b = render_timeline(_small_report())
@@ -230,3 +256,41 @@ class TestCheckBenchJson:
     def test_missing_file_is_usage_error(self, capsys):
         mod = self._load()
         assert mod.main(["/nonexistent/nope.jsonl"]) == 2
+
+    def test_baseline_schema_validated(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import Tracer, make_baseline, make_run_record
+
+        mod = self._load()
+        doc = make_baseline([make_run_record(
+            "x", tracer=Tracer(), results={"l1_error_per_coeff": 1e-9}
+        )])
+        good = tmp_path / "BENCH_BASELINE.json"
+        good.write_text(json.dumps(doc))
+        assert mod.main([str(good)]) == 0
+        # Corrupt one stat: the failure message names the offending
+        # entry key and metric, not just "invalid file".
+        key = next(iter(doc["entries"]))
+        for stat in doc["entries"][key]["metrics"].values():
+            stat["median"] = "fast"
+        bad = tmp_path / "bad_base.json"
+        bad.write_text(json.dumps(doc))
+        assert mod.main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert key in err and "median" in err
+
+    def test_trajectory_schema_validated(self, tmp_path, capsys):
+        import json
+
+        mod = self._load()
+        doc = {"schema": "repro.trajectory/1",
+               "points": [{"key": "a", "metrics": {"m": 1.0}},
+                          {"key": "", "metrics": {}}]}
+        path = tmp_path / "BENCH_TRAJECTORY.json"
+        path.write_text(json.dumps(doc))
+        assert mod.main([str(path)]) == 1
+        assert "points[1]" in capsys.readouterr().err
+        doc["points"].pop()
+        path.write_text(json.dumps(doc))
+        assert mod.main([str(path)]) == 0
