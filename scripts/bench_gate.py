@@ -27,7 +27,12 @@ Options::
     --trajectory PATH    history file ('' = skip)  [BENCH_TRAJECTORY.json]
     --record             force recording mode (re-snapshot the baseline)
     --classes C [C ...]  metric classes to gate on [wall modeled accuracy]
-                         (CI uses "modeled accuracy": machine-independent)
+                         (CI uses "modeled accuracy": machine-independent.
+                         The batch-engine amortized timings from
+                         ``bench_batch_engine.py`` — ``*_wall_s`` and the
+                         dimensionless ``batch_speedup_x`` — class as
+                         ``wall``/skipped, so they trend in the trajectory
+                         without ever failing the machine-independent gate)
     --wall-threshold F / --modeled-threshold F / --accuracy-threshold F
                          per-class relative thresholds
     --session TAG        tag trajectory points with a session label

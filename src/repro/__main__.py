@@ -12,7 +12,11 @@ Observability flags:
 * ``--json`` — emit a machine-readable ``repro.run/1`` record instead of
   the human text (one JSON document on stdout), including a ``gate`` block
   judging this run against ``BENCH_BASELINE.json`` when one exists
-  (``"baseline": null`` otherwise).
+  (``"baseline": null`` otherwise);
+* ``--batch S`` — additionally push a stack of ``S`` fresh sparse signals
+  through the batched execution engine (:func:`repro.core.sfft_batch`)
+  under one shared plan and report the amortized per-transform time next
+  to the single-call time.
 
 ``python -m repro report`` is the terminal dashboard over the committed
 performance artifacts: trajectory sparklines per experiment
@@ -70,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write a Chrome trace_event JSON file")
     parser.add_argument("--json", action="store_true",
                         help="print a repro.run/1 record instead of text")
+    parser.add_argument("--batch", metavar="S", default=1, type=_batch_arg,
+                        help="also run a stack of S signals through the "
+                             "batched engine under one plan (default: off)")
     return parser
 
 
@@ -83,6 +90,20 @@ def _log2_arg(text: str) -> int:
     if not _MIN_LOG2 <= value <= _MAX_LOG2:
         raise argparse.ArgumentTypeError(
             f"n_log2 must be in [{_MIN_LOG2}, {_MAX_LOG2}], got {value}"
+        )
+    return value
+
+
+def _batch_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be >= 1, got {value}"
         )
     return value
 
@@ -290,6 +311,33 @@ def main(argv: list[str] | None = None) -> int:
     ok = set(result.locations.tolist()) == set(sig.locations.tolist())
     err = np.abs(result.to_dense() - sig.dense_spectrum()).sum() / (k * n)
 
+    # Optional batched-engine leg: S fresh signals, one shared plan, one
+    # sfft_batch call — amortized per-transform time vs the single call.
+    batch_stats = None
+    if args.batch > 1:
+        from .core import make_plan, sfft_batch
+
+        S = args.batch
+        plan = make_plan(n, k, seed=1)
+        batch_sigs = [
+            make_sparse_signal(n, k, seed=2016 + 101 * (t + 1))
+            for t in range(S)
+        ]
+        stack = np.stack([s.time for s in batch_sigs])
+        t0 = time.perf_counter()
+        batch_results = sfft_batch(stack, plan=plan)
+        t_batch = time.perf_counter() - t0
+        batch_ok = all(
+            set(r.locations.tolist()) == set(s.locations.tolist())
+            for r, s in zip(batch_results, batch_sigs)
+        )
+        batch_stats = {
+            "size": S,
+            "wall_s": t_batch,
+            "amortized_s": t_batch / S,
+            "exact": batch_ok,
+        }
+
     run = CusFFT.create(n, k, config=OPTIMIZED).execute(
         sig.time, seed=1, tracer=tracer, metrics=metrics
     )
@@ -314,6 +362,16 @@ def main(argv: list[str] | None = None) -> int:
                 "sfft_wall_s": t_sparse,
                 "dense_fft_wall_s": t_dense,
                 "modeled_gpu_s": run.modeled_time_s,
+                **(
+                    {
+                        "batch_size_x": batch_stats["size"],
+                        "batch_exact": batch_stats["exact"],
+                        "batch_wall_s": batch_stats["wall_s"],
+                        "batch_amortized_wall_s": batch_stats["amortized_s"],
+                    }
+                    if batch_stats is not None
+                    else {}
+                ),
             },
         )
         # One document per run: downstream tooling gets the gate verdict
@@ -327,6 +385,11 @@ def main(argv: list[str] | None = None) -> int:
           f"(L1/coeff = {err:.2e})")
     print(f"  wall-clock: sfft {t_sparse * 1e3:.1f} ms vs numpy.fft "
           f"{t_dense * 1e3:.1f} ms")
+    if batch_stats is not None:
+        print(f"  batched engine: {batch_stats['size']} signals in "
+              f"{batch_stats['wall_s'] * 1e3:.1f} ms "
+              f"({batch_stats['amortized_s'] * 1e3:.2f} ms/transform, "
+              f"recovery {'exact' if batch_stats['exact'] else 'INCOMPLETE'})")
     print(f"\nsimulated cusFFT (Tesla K20x model): "
           f"{run.modeled_time_s * 1e3:.3f} ms")
     print(render_summary(run.report))

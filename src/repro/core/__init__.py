@@ -1,10 +1,22 @@
 """The sparse FFT core: parameters, plans, and the six-step pipeline."""
 
+from .batch import sfft_batch_fused
 from .binning import bin_loop_partition, bin_serial, bin_vectorized
 from .comb import comb_approved_residues, comb_spectrum
-from .cutoff import cutoff, noise_floor_threshold, select_threshold, select_topk
+from .cutoff import (
+    cutoff,
+    cutoff_rows,
+    noise_floor_threshold,
+    select_threshold,
+    select_topk,
+)
 from .dense import dense_fft, dense_topk, reconstruct_time
-from .estimation import componentwise_median, estimate_values, loop_estimates
+from .estimation import (
+    componentwise_median,
+    estimate_values,
+    estimate_values_stack,
+    loop_estimates,
+)
 from .exact import ExactSfftStats, sfft_exact
 from .parameters import PROFILES, SfftParameters, derive_parameters
 from .permutation import (
@@ -14,10 +26,17 @@ from .permutation import (
     random_permutation,
 )
 from .plan import SfftPlan, load_plan, make_plan, save_plan
-from .recovery import VoteAccumulator, candidate_frequencies, recover_locations
+from .plan_cache import PlanCache, cached_plan, global_plan_cache
+from .recovery import (
+    VoteAccumulator,
+    candidate_frequencies,
+    recover_locations,
+    recover_locations_stack,
+)
 from .sfft import STEP_NAMES, SparseFFTResult, sfft
 from .subsampled import bucket_fft, subsample_spectrum
 from .variants import isfft, rsfft, sfft_batch
+from .workspace import GATHER_ELEMENT_CAP, PlanWorkspace
 
 __all__ = [
     "bin_loop_partition",
@@ -26,6 +45,7 @@ __all__ = [
     "bin_serial",
     "bin_vectorized",
     "cutoff",
+    "cutoff_rows",
     "noise_floor_threshold",
     "select_threshold",
     "select_topk",
@@ -36,6 +56,7 @@ __all__ = [
     "ExactSfftStats",
     "sfft_exact",
     "estimate_values",
+    "estimate_values_stack",
     "loop_estimates",
     "PROFILES",
     "SfftParameters",
@@ -48,9 +69,13 @@ __all__ = [
     "load_plan",
     "make_plan",
     "save_plan",
+    "PlanCache",
+    "cached_plan",
+    "global_plan_cache",
     "VoteAccumulator",
     "candidate_frequencies",
     "recover_locations",
+    "recover_locations_stack",
     "STEP_NAMES",
     "SparseFFTResult",
     "sfft",
@@ -59,4 +84,7 @@ __all__ = [
     "isfft",
     "rsfft",
     "sfft_batch",
+    "sfft_batch_fused",
+    "GATHER_ELEMENT_CAP",
+    "PlanWorkspace",
 ]

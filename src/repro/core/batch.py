@@ -1,0 +1,140 @@
+"""Batched sparse-FFT execution — one plan, a stack of signals, one pass.
+
+The per-call driver (:func:`~repro.core.sfft.sfft`) already amortizes plan
+synthesis; this module amortizes *execution* overhead across a ``(S, n)``
+signal stack the way the GPU implementation amortizes kernel launches:
+
+* steps 1-2 run as **one** fancy-indexed gather over the whole stack
+  (:meth:`~repro.core.workspace.PlanWorkspace.bin_fused_stack`);
+* step 3 is a single ``(S*L, B)`` batched bucket FFT — the shape a batched
+  cuFFT call would take;
+* step 4 selects buckets with one batched top-k over all ``S * v_loops``
+  voting rows (:func:`~repro.core.cutoff.cutoff_rows`);
+* step 5 votes for every signal in one flat ``(S * n)`` score array
+  (:func:`~repro.core.recovery.recover_locations_stack`);
+* step 6 estimates all signals' hits in one vectorized pass
+  (:func:`~repro.core.estimation.estimate_values_stack`).
+
+Every stage is a reshape of the exact computation the single-signal driver
+performs, so ``sfft_batch_fused(X, plan)[s]`` recovers the same support as
+``sfft(X[s], plan=plan)`` with (floating-point-)identical values — the
+property suite asserts this signal for signal, with and without the Comb
+pre-filter.
+
+The public entry point is :func:`repro.core.variants.sfft_batch`, which
+routes eligible calls here and falls back to the per-signal loop for
+non-default binning modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError, RecoveryError
+from ..utils.rng import RngLike
+from ..utils.validation import as_complex_signal
+from .comb import comb_approved_residues
+from .cutoff import cutoff_rows
+from .estimation import estimate_values_stack
+from .plan import SfftPlan
+from .recovery import recover_locations_stack
+from .sfft import SparseFFTResult
+from .subsampled import bucket_fft
+
+__all__ = ["sfft_batch_fused"]
+
+
+def sfft_batch_fused(
+    X: np.ndarray,
+    plan: SfftPlan,
+    *,
+    cutoff_method: str = "topk",
+    comb_width: int | None = None,
+    comb_loops: int = 3,
+    trim_to_k: bool = True,
+    strict: bool = False,
+    seed: RngLike = None,
+) -> list[SparseFFTResult]:
+    """Transform an ``(S, n)`` signal stack under one plan, fully batched.
+
+    Parameters mirror :func:`~repro.core.sfft.sfft`'s execution options
+    (``cutoff_method``, ``comb_width``/``comb_loops``, ``trim_to_k``,
+    ``strict``); ``seed`` only seeds the Comb pre-filter's permutations,
+    exactly as it does in the per-signal driver.  Returns one
+    :class:`~repro.core.sfft.SparseFFTResult` per stack row.
+    """
+    X = np.atleast_2d(np.asarray(X))
+    if X.ndim != 2:
+        raise ParameterError(f"signal stack must be 2-D, got shape {X.shape}")
+    if X.dtype == np.complex128 and X.flags.c_contiguous:
+        # Already the working layout: validate the shape, never copy the
+        # stack (it can dwarf every buffer the transform itself touches).
+        if X.shape[1] != plan.n:
+            raise ParameterError(
+                f"signal length {X.shape[1]} != plan n={plan.n}"
+            )
+        if X.shape[0] == 0:
+            raise ParameterError("batch must contain at least one signal")
+    else:
+        X = np.stack([as_complex_signal(row, plan.n) for row in X])
+    S = X.shape[0]
+    params = plan.params
+    B, L = params.B, params.loops
+    v_loops = params.voting_loops
+
+    # Optional sFFT-2.0 Comb screen.  The masks are data-dependent, hence
+    # per-signal; each row is built exactly as the per-signal driver would.
+    residue_filters = None
+    if comb_width is not None:
+        residue_filters = np.stack([
+            comb_approved_residues(
+                X[s], comb_width, params.k, loops=comb_loops, seed=seed
+            )
+            for s in range(S)
+        ])
+
+    # Steps 1-2: one gather + fold for the whole stack.
+    raw = plan.workspace().bin_fused_stack(X)
+
+    # Step 3: one (S*L, B) batched bucket FFT.
+    rows = bucket_fft(raw.reshape(S * L, B)).reshape(S, L, B)
+
+    # Step 4: batched cutoff over all (signal, voting-loop) rows at once.
+    flat_sel = cutoff_rows(
+        np.abs(rows[:, :v_loops, :]).reshape(S * v_loops, B),
+        params.select_count,
+        method=cutoff_method,
+    )
+    selected = [
+        flat_sel[s * v_loops:(s + 1) * v_loops] for s in range(S)
+    ]
+
+    # Step 5: one flat vote pass for every signal.
+    perms_v = list(plan.permutations[:v_loops])
+    hits, votes = recover_locations_stack(
+        selected, perms_v, B, params.vote_threshold,
+        residue_filters=residue_filters,
+    )
+
+    if strict:
+        for s in range(S):
+            if hits[s].size < params.k:
+                raise RecoveryError(
+                    f"signal {s}: recovered only {hits[s].size} of "
+                    f"k={params.k} coefficients"
+                )
+
+    # Step 6: all signals' estimates in one vectorized pass.
+    values = estimate_values_stack(
+        hits, rows, list(plan.permutations), plan.filt, B
+    )
+
+    results = []
+    for s in range(S):
+        res = SparseFFTResult(
+            n=params.n, locations=hits[s], values=values[s], votes=votes[s]
+        )
+        if trim_to_k:
+            res = res.top(params.k)
+        results.append(res)
+    return results

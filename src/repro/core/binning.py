@@ -62,12 +62,14 @@ def bin_vectorized(
 ) -> np.ndarray:
     """Index-mapped gather + reshape-sum fold.  Production CPU path.
 
-    ``w`` need not be a multiple of ``B``; a zero tail pads the fold.
+    ``w`` need not be a multiple of ``B``, but plans always pad taps to one
+    (``pad_to_multiple=B``), so the production case folds the gather output
+    in place — the zero-tail copy only runs for ad-hoc unpadded filters.
     """
     _check_args(x, filt, B, perm)
     w = filt.width
-    idx = permuted_indices(perm, w)
-    y = x[idx] * filt.time
+    y = x[permuted_indices(perm, w)]
+    y *= filt.time
     rounds = -(-w // B)
     if rounds * B != w:
         y = np.concatenate([y, np.zeros(rounds * B - w, dtype=np.complex128)])
@@ -89,6 +91,14 @@ def bin_loop_partition(
     rounds = -(-w // B)
     tid = np.arange(B, dtype=np.int64)
     my_bucket = np.zeros(B, dtype=np.complex128)
+    if rounds * B == w:
+        # Plans pad taps to a multiple of B: every round is full, so the
+        # whole tap schedule is one reshape — no per-round mask or zeros.
+        tap_rounds = filt.time.reshape(rounds, B)
+        for j in range(rounds):
+            idx = ((tid + B * j) * perm.sigma + perm.tau) % perm.n
+            my_bucket += x[idx] * tap_rounds[j]
+        return my_bucket
     for j in range(rounds):
         off = tid + B * j
         live = off < w

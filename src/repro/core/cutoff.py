@@ -29,6 +29,7 @@ __all__ = [
     "noise_floor_threshold",
     "select_threshold",
     "cutoff",
+    "cutoff_rows",
 ]
 
 
@@ -109,3 +110,43 @@ def cutoff(
             return select_topk(magnitudes, m)
         return chosen
     raise ParameterError(f"unknown cutoff method {method!r}")
+
+
+def cutoff_rows(
+    magnitudes: np.ndarray,
+    m: int,
+    *,
+    method: str = "topk",
+    threshold_factor: float = 4.0,
+    cap_factor: int = 4,
+) -> list[np.ndarray]:
+    """Per-row cutoff over a 2-D magnitude matrix — one call, all loops.
+
+    The fused execution engine computes ``|Z|`` for every voting row at
+    once (a ``(rows, B)`` matrix spanning all loops, and all signals in the
+    batched case) and selects here with a single batched ``argpartition``
+    instead of a Python-level loop of :func:`select_topk` calls.  Row ``r``
+    of the result is element-for-element what ``cutoff(magnitudes[r], m,
+    method=...)`` returns.
+
+    ``method="threshold"`` stays per-row (its noise floor is a data-
+    dependent median of each row).
+    """
+    mags = np.asarray(magnitudes)
+    if mags.ndim != 2:
+        raise ParameterError(f"magnitudes must be 2-D, got shape {mags.shape}")
+    B = mags.shape[1]
+    if method == "threshold":
+        return [
+            cutoff(row, m, method="threshold",
+                   threshold_factor=threshold_factor, cap_factor=cap_factor)
+            for row in mags
+        ]
+    if method != "topk":
+        raise ParameterError(f"unknown cutoff method {method!r}")
+    if not 1 <= m <= B:
+        raise ParameterError(f"m={m} must be in [1, {B}]")
+    if m == B:
+        return [np.arange(B, dtype=np.int64) for _ in range(mags.shape[0])]
+    chosen = np.argpartition(mags, -m, axis=1)[:, -m:].astype(np.int64)
+    return list(chosen)

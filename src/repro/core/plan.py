@@ -10,7 +10,7 @@ executions against cuFFT/FFTW execution the same way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..filters.base import FlatFilter
 from ..filters.flat_window import make_flat_window
@@ -41,6 +41,11 @@ class SfftPlan:
     params: SfftParameters
     filt: FlatFilter
     permutations: tuple[Permutation, ...]
+    #: lazily built execution workspace (gather matrix + scratch); never
+    #: part of equality/serialization — pure derived state.
+    _workspace: object = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n(self) -> int:
@@ -78,8 +83,31 @@ class SfftPlan:
         """
         return self.filt.width >= self.params.n - self.params.B
 
+    def workspace(self) -> "PlanWorkspace":
+        """The plan's cached execution workspace (built on first use).
+
+        The workspace precomputes the ``(L, w)`` gather-index matrix, the
+        padded ``(rounds, B)`` tap matrix, and reusable scratch buffers —
+        see :mod:`repro.core.workspace`.  Cached per plan object, so
+        repeated executions of one plan allocate nothing on the hot path.
+        Not thread-safe (shared scratch); concurrent executors should
+        construct a private ``PlanWorkspace(plan)`` each.
+        """
+        if self._workspace is None:
+            from .workspace import PlanWorkspace
+
+            # frozen dataclass: the cache slot is set through the back door
+            # (the same idiom FlatFilter uses for its derived arrays).
+            object.__setattr__(self, "_workspace", PlanWorkspace(self))
+        return self._workspace
+
     def reseeded(self, seed: RngLike = None) -> "SfftPlan":
-        """Same filter and parameters, fresh random permutations."""
+        """Same filter and parameters, fresh random permutations.
+
+        Returns a *new* plan object, so any cached :meth:`workspace` —
+        whose gather matrix bakes in the old permutations — is left behind
+        with the old plan rather than silently reused.
+        """
         rng = ensure_rng(seed)
         perms = tuple(
             random_permutation(self.params.n, rng) for _ in range(self.params.loops)

@@ -1,0 +1,165 @@
+"""Process-level LRU plan cache — FFTW-wisdom economics for `sfft(x, k)`.
+
+Plan synthesis is the expensive half of the transform (the flat-window
+filter costs an ``O(n log n)`` FFT); execution is sub-linear.  The
+convenience form ``sfft(x, k)`` historically paid synthesis on *every*
+call.  This cache amortizes it: plans are keyed by the **resolved**
+parameter set plus the seed, so two spellings of the same configuration
+(``loops=6`` vs. a ``profile`` that derives ``loops=6``) share one entry,
+while distinct seeds or overrides never collide.
+
+Cache traffic is observable through the shared metrics registry
+(:func:`repro.obs.global_registry`):
+
+* ``sfft.plan_cache.hit``  — calls served from the cache;
+* ``sfft.plan_cache.miss`` — calls that paid plan synthesis.
+
+Keying notes:
+
+* ``seed`` may be ``None`` or an ``int``.  ``None`` is itself a key: repeat
+  anonymous ``sfft(x, k)`` calls of one shape deliberately share a plan —
+  plan reuse is the point.  Callers that need per-call fresh randomness
+  pass a :class:`numpy.random.Generator`, which **bypasses** the cache (a
+  generator's future draws are not a stable identity) and counts as a miss.
+* eviction is LRU at a fixed capacity; plans are immutable, so a cached
+  plan can be handed to any number of callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import astuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..utils.rng import RngLike
+from .parameters import SfftParameters, derive_parameters
+from .plan import SfftPlan, make_plan
+
+__all__ = ["PlanCache", "global_plan_cache", "cached_plan"]
+
+#: Default number of distinct (shape, overrides, seed) plans kept resident.
+DEFAULT_CAPACITY = 32
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`~repro.core.plan.SfftPlan` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of plans kept; the least recently used entry is
+        evicted when a new plan would exceed it.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, SfftPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(
+        n: int, k: int, seed: RngLike, params: SfftParameters | None,
+        overrides: dict,
+    ) -> tuple | None:
+        """Resolved cache key, or ``None`` when the call is uncacheable."""
+        if isinstance(seed, np.random.Generator):
+            return None
+        if params is None:
+            params = derive_parameters(n, k, **overrides)
+        return (*astuple(params), seed)
+
+    def get_or_make(
+        self,
+        n: int,
+        k: int,
+        *,
+        seed: RngLike = None,
+        params: SfftParameters | None = None,
+        **overrides,
+    ) -> SfftPlan:
+        """Return the cached plan for this configuration, building on miss.
+
+        Accepts exactly the :func:`~repro.core.plan.make_plan` signature.
+        Parameter resolution (cheap, closed-form) always runs so the key
+        reflects *resolved* overrides; filter synthesis (the expensive
+        part) runs only on a miss.
+        """
+        from ..obs import global_registry
+
+        key = self._key(n, k, seed, params, overrides)
+        if key is None:
+            # Generator seeds are intentionally uncacheable; build fresh.
+            global_registry().counter("sfft.plan_cache.miss").inc()
+            self.misses += 1
+            return make_plan(n, k, seed=seed, params=params, **overrides)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+        if plan is not None:
+            global_registry().counter("sfft.plan_cache.hit").inc()
+            return plan
+        plan = make_plan(n, k, seed=seed, params=params, **overrides)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+            self.misses += 1
+        global_registry().counter("sfft.plan_cache.miss").inc()
+        return plan
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the local hit/miss tallies."""
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        """``{"hits", "misses", "size", "capacity"}`` snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._plans),
+                "capacity": self.capacity,
+            }
+
+
+_GLOBAL_CACHE = PlanCache()
+
+
+def global_plan_cache() -> PlanCache:
+    """The process-wide plan cache ``sfft(x, k)`` convenience calls use."""
+    return _GLOBAL_CACHE
+
+
+def cached_plan(
+    n: int,
+    k: int,
+    *,
+    seed: RngLike = None,
+    params: SfftParameters | None = None,
+    **overrides,
+) -> SfftPlan:
+    """:func:`~repro.core.plan.make_plan` through the global LRU cache."""
+    return _GLOBAL_CACHE.get_or_make(
+        n, k, seed=seed, params=params, **overrides
+    )

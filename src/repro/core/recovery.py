@@ -21,7 +21,29 @@ import numpy as np
 from ..errors import ParameterError
 from .permutation import Permutation
 
-__all__ = ["candidate_frequencies", "VoteAccumulator", "recover_locations"]
+__all__ = [
+    "candidate_frequencies",
+    "VoteAccumulator",
+    "recover_locations",
+    "recover_locations_stack",
+]
+
+
+def _distinct_int64(values: np.ndarray) -> np.ndarray:
+    """Distinct values of a 1-D int64 array, ascending — sort-based.
+
+    Semantically ``np.unique``, but routed through an explicit sort: on
+    NumPy builds where ``unique`` takes a hash-table path, the sort is an
+    order of magnitude faster at the candidate volumes voting produces
+    (tens of thousands to a few hundred thousand int64 keys per loop).
+    """
+    if values.size <= 1:
+        return values
+    ordered = np.sort(values)
+    keep = np.empty(ordered.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
 
 
 def candidate_frequencies(
@@ -59,13 +81,26 @@ class VoteAccumulator:
     A dense ``int16`` score array — the direct analog of the GPU kernel's
     ``score[n]`` buffer (Algorithm 4).  ``int16`` suffices because scores
     are bounded by the loop count.
+
+    ``scores_out`` lets a caller supply the buffer (the per-plan workspace
+    keeps one resident so the hot path allocates nothing); it is zeroed on
+    entry and owned by the accumulator for the transform's duration.
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, *, scores_out: np.ndarray | None = None):
         if n < 1:
             raise ParameterError(f"n must be positive, got {n}")
         self.n = int(n)
-        self.scores = np.zeros(self.n, dtype=np.int16)
+        if scores_out is None:
+            self.scores = np.zeros(self.n, dtype=np.int16)
+        else:
+            if scores_out.shape != (self.n,) or scores_out.dtype != np.int16:
+                raise ParameterError(
+                    f"scores_out must be int16 of shape ({self.n},), got "
+                    f"{scores_out.dtype} {scores_out.shape}"
+                )
+            scores_out.fill(0)
+            self.scores = scores_out
 
     def add_loop_votes(self, candidates: np.ndarray) -> None:
         """Add one loop's candidates (each distinct frequency votes once).
@@ -77,7 +112,7 @@ class VoteAccumulator:
         """
         if candidates.size == 0:
             return
-        uniq = np.unique(candidates)
+        uniq = _distinct_int64(np.asarray(candidates, dtype=np.int64))
         self.scores[uniq] += 1
 
     def hits(self, threshold: int) -> np.ndarray:
@@ -94,13 +129,16 @@ def recover_locations(
     vote_threshold: int,
     *,
     residue_filter: np.ndarray | None = None,
+    scores_out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run voting over all loops; return ``(hit_frequencies, their_scores)``.
 
     ``residue_filter`` is the optional sFFT-2.0 Comb screen (see
     :mod:`repro.core.comb`): a boolean mask of length ``W`` — candidates
     whose residue ``f mod W`` is not approved never enter the vote, cutting
-    the scatter-add work to the approved classes.
+    the scatter-add work to the approved classes.  ``scores_out`` is an
+    optional preallocated ``int16`` score buffer (zeroed here), letting the
+    workspace-driven path vote without allocating a length-``n`` array.
     """
     if len(selected_per_loop) != len(permutations):
         raise ParameterError("one selected-bucket set per permutation required")
@@ -110,7 +148,7 @@ def recover_locations(
         residue_filter = np.asarray(residue_filter, dtype=bool)
         if residue_filter.ndim != 1 or residue_filter.size < 1:
             raise ParameterError("residue_filter must be a 1-D boolean mask")
-    acc = VoteAccumulator(permutations[0].n)
+    acc = VoteAccumulator(permutations[0].n, scores_out=scores_out)
     for sel, perm in zip(selected_per_loop, permutations):
         cands = candidate_frequencies(sel, perm, B)
         if residue_filter is not None and cands.size:
@@ -118,3 +156,77 @@ def recover_locations(
         acc.add_loop_votes(cands)
     hits = acc.hits(vote_threshold)
     return hits, acc.scores[hits].astype(np.int64)
+
+
+def recover_locations_stack(
+    selected: list[list[np.ndarray]],
+    permutations: list[Permutation],
+    B: int,
+    vote_threshold: int,
+    *,
+    residue_filters: np.ndarray | None = None,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Voting for a whole signal stack — the batched engine's step 5.
+
+    ``selected[s][r]`` holds signal ``s``'s selected buckets in loop ``r``
+    (the loops share one permutation schedule — that is what "one plan"
+    means).  Instead of ``S`` separate accumulators, one flat ``(S * n)``
+    ``int16`` score array votes for all signals at once: per loop, every
+    signal's candidate frequencies are offset by ``s * n`` and deduplicated
+    in a single pass over the whole batch, so the sort + scatter-add runs
+    once per loop rather than once per ``(signal, loop)``.
+
+    ``residue_filters`` is the optional per-signal Comb screen, one boolean
+    mask row per signal (masks are data-dependent, so they cannot be shared
+    across the stack).  Returns per-signal ``(hits, votes)`` lists matching
+    :func:`recover_locations` signal for signal.
+    """
+    S = len(selected)
+    if S < 1:
+        raise ParameterError("at least one signal is required")
+    if not permutations:
+        raise ParameterError("at least one loop is required")
+    loops = len(permutations)
+    for rows in selected:
+        if len(rows) != loops:
+            raise ParameterError(
+                "one selected-bucket set per (signal, permutation) required"
+            )
+    masks = None
+    if residue_filters is not None:
+        masks = np.asarray(residue_filters, dtype=bool)
+        if masks.ndim != 2 or masks.shape[0] != S or masks.shape[1] < 1:
+            raise ParameterError(
+                f"residue_filters must be (S, W) boolean, got {masks.shape}"
+            )
+    n = permutations[0].n
+    scores = np.zeros(S * n, dtype=np.int16)
+    for r, perm in enumerate(permutations):
+        sizes = [np.asarray(selected[s][r]).size for s in range(S)]
+        if not any(sizes):
+            continue
+        buckets = np.concatenate(
+            [np.asarray(selected[s][r], dtype=np.int64) for s in range(S)]
+        )
+        sig_idx = np.repeat(np.arange(S, dtype=np.int64), sizes)
+        cands = candidate_frequencies(buckets, perm, B).reshape(
+            buckets.size, n // B
+        )
+        flat_sig = np.repeat(sig_idx, n // B)
+        flat = cands.ravel()
+        if masks is not None:
+            keep = masks[flat_sig, flat % masks.shape[1]]
+            flat = flat[keep]
+            flat_sig = flat_sig[keep]
+        if flat.size == 0:
+            continue
+        # One vote per distinct (signal, frequency) pair per loop: the
+        # signal offset folds the whole batch into one key space, so a
+        # single dedupe + scatter-add covers all S signals.
+        uniq = _distinct_int64(flat_sig * n + flat)
+        scores[uniq] += 1
+    per_signal = scores.reshape(S, n)
+    hits = [np.flatnonzero(per_signal[s] >= vote_threshold).astype(np.int64)
+            for s in range(S)]
+    votes = [per_signal[s, h].astype(np.int64) for s, h in enumerate(hits)]
+    return hits, votes

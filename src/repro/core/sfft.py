@@ -26,9 +26,10 @@ from ..utils.rng import RngLike
 from ..utils.validation import as_complex_signal
 from .binning import bin_loop_partition, bin_serial, bin_vectorized
 from .comb import comb_approved_residues
-from .cutoff import cutoff
+from .cutoff import cutoff_rows
 from .estimation import estimate_values
-from .plan import SfftPlan, make_plan
+from .plan import SfftPlan
+from .plan_cache import cached_plan
 from .recovery import recover_locations
 from .subsampled import bucket_fft
 
@@ -134,11 +135,16 @@ def sfft(
     k:
         Target sparsity.  Optional when ``plan`` is given.
     plan:
-        A reusable :class:`~repro.core.plan.SfftPlan`; built on the fly
-        (with ``seed`` / ``plan_overrides``) when omitted.
+        A reusable :class:`~repro.core.plan.SfftPlan`; obtained from the
+        process-level plan cache (with ``seed`` / ``plan_overrides``) when
+        omitted, so repeat convenience calls of one shape pay filter
+        synthesis once — see :mod:`repro.core.plan_cache`.
     binning:
         ``"vectorized"`` (default), ``"loop_partition"`` (mirrors the GPU
         kernel), or ``"serial"`` (Algorithm 1 verbatim; slow, tests only).
+        The default runs through the plan's fused execution workspace
+        (:mod:`repro.core.workspace`): one gather + fold for all ``L``
+        loops, reusing plan-resident scratch.
     cutoff_method:
         ``"topk"`` (baseline sort&select) or ``"threshold"`` (fast
         k-selection).
@@ -182,7 +188,7 @@ def sfft(
         if k is None:
             raise ParameterError("either k or a plan must be provided")
         x = as_complex_signal(x)
-        plan = make_plan(x.size, k, seed=seed, **plan_overrides)
+        plan = cached_plan(x.size, k, seed=seed, **plan_overrides)
     else:
         x = as_complex_signal(x, plan.n)
         if k is None:
@@ -208,30 +214,41 @@ def sfft(
                 x, comb_width, params.k, loops=comb_loops, seed=seed
             )
 
-    # Steps 1-2: permutation + filter + fold, one row per loop.
+    # Steps 1-2: permutation + filter + fold, one row per loop.  The
+    # default binning runs fused through the plan workspace (one gather for
+    # all loops into plan-resident scratch); the explicit binner variants
+    # keep their per-loop structure for kernel-shape fidelity.  The fusion
+    # only engages while the dispatch entry is the stock binner, so
+    # patching ``_BINNERS["vectorized"]`` (tests inject slow/instrumented
+    # binners there) still takes effect.
+    ws = plan.workspace() if binner is bin_vectorized else None
     with step("perm_filter", loops=L, B=B):
-        raw = np.empty((L, B), dtype=np.complex128)
-        for r, perm in enumerate(plan.permutations):
-            raw[r] = binner(x, plan.filt, B, perm)
+        if ws is not None:
+            raw = ws.bin_fused(x)
+        else:
+            raw = np.empty((L, B), dtype=np.complex128)
+            for r, perm in enumerate(plan.permutations):
+                raw[r] = binner(x, plan.filt, B, perm)
 
     # Step 3: batched B-point FFT.
     with step("bucket_fft", B=B, batch=L):
         rows = bucket_fft(raw)
 
     # Step 4: cutoff — only the voting loops need it (the reference
-    # implementation's location/estimation split).
+    # implementation's location/estimation split).  One batched top-k over
+    # all voting rows at once.
     v_loops = params.voting_loops
     with step("cutoff", method=cutoff_method):
-        selected = [
-            cutoff(np.abs(rows[r]), params.select_count, method=cutoff_method)
-            for r in range(v_loops)
-        ]
+        selected = cutoff_rows(
+            np.abs(rows[:v_loops]), params.select_count, method=cutoff_method
+        )
 
     # Step 5: reverse hash + voting over the location loops.
     with step("recovery", loops=v_loops):
         hits, votes = recover_locations(
             selected, list(plan.permutations[:v_loops]), B,
             params.vote_threshold, residue_filter=residue_filter,
+            scores_out=ws.scores if ws is not None else None,
         )
 
     if strict and hits.size < params.k:

@@ -20,7 +20,9 @@ import numpy as np
 from ..errors import ParameterError
 from ..utils.rng import RngLike
 from ..utils.validation import as_complex_signal
-from .plan import SfftPlan, make_plan
+from .batch import sfft_batch_fused
+from .plan import SfftPlan
+from .plan_cache import cached_plan
 from .sfft import SparseFFTResult, sfft
 
 __all__ = ["isfft", "rsfft", "sfft_batch"]
@@ -84,6 +86,10 @@ def rsfft(x, k: int | None = None, **kwargs) -> SparseFFTResult:
     )
 
 
+_EXEC_KEYS = ("binning", "cutoff_method", "comb_width", "comb_loops",
+              "trim_to_k", "strict", "profile")
+
+
 def sfft_batch(
     signals,
     k: int | None = None,
@@ -95,13 +101,26 @@ def sfft_batch(
     """Transform a batch of equal-length signals under one shared plan.
 
     ``signals`` is a ``(batch, n)`` array or a sequence of length-``n``
-    arrays.  The plan (filter + permutation schedule) is constructed once;
-    each signal then pays only the sub-linear execution cost.
+    arrays.  The plan (filter + permutation schedule) comes from the
+    process-level cache when not supplied; the stack then runs through the
+    fused batch engine (:mod:`repro.core.batch`) — one gather, one
+    ``(S*L, B)`` bucket FFT, one vote pass for every signal.  Per-signal
+    results match ``sfft(signals[s], plan=plan)`` exactly.
+
+    Requests the fused engine cannot express (an explicit non-default
+    ``binning``, or ``profile=True`` for per-step timing) fall back to the
+    per-signal driver loop, preserving the old semantics.
     """
     if isinstance(signals, np.ndarray):
-        rows = [as_complex_signal(s) for s in np.atleast_2d(signals)]
+        # Rows of a contiguous stack validate without copying; the fused
+        # engine consumes the original array as-is.
+        stack = np.atleast_2d(signals)
+        rows = [as_complex_signal(s) for s in stack]
+        if stack.dtype != np.complex128 or not stack.flags.c_contiguous:
+            stack = np.stack(rows)
     else:
         rows = [as_complex_signal(s) for s in signals]
+        stack = None
     if not rows:
         raise ParameterError("batch must contain at least one signal")
     n = rows[0].size
@@ -111,14 +130,21 @@ def sfft_batch(
     if plan is None:
         if k is None:
             raise ParameterError("either k or a plan must be provided")
-        plan = make_plan(n, k, seed=seed, **{
-            key: val for key, val in kwargs.items()
-            if key not in ("binning", "cutoff_method", "comb_width",
-                           "comb_loops", "trim_to_k", "strict", "profile")
+        plan = cached_plan(n, k, seed=seed, **{
+            key: val for key, val in kwargs.items() if key not in _EXEC_KEYS
         })
     exec_kwargs = {
-        key: val for key, val in kwargs.items()
-        if key in ("binning", "cutoff_method", "comb_width", "comb_loops",
-                   "trim_to_k", "strict", "profile")
+        key: val for key, val in kwargs.items() if key in _EXEC_KEYS
     }
+    fused_ok = (
+        exec_kwargs.get("binning", "vectorized") == "vectorized"
+        and not exec_kwargs.get("profile", False)
+    )
+    if fused_ok:
+        exec_kwargs.pop("binning", None)
+        exec_kwargs.pop("profile", None)
+        return sfft_batch_fused(
+            stack if stack is not None else np.stack(rows),
+            plan, seed=seed, **exec_kwargs,
+        )
     return [sfft(r, plan=plan, seed=seed, **exec_kwargs) for r in rows]

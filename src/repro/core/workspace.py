@@ -1,0 +1,202 @@
+"""Per-plan execution workspaces — allocate once, transform many times.
+
+A :class:`~repro.core.plan.SfftPlan` holds everything that is *logically*
+reusable across executions (filter, permutation schedule); this module holds
+everything that is *physically* reusable: the derived index matrices and the
+scratch buffers the hot path would otherwise rebuild per call.
+
+For one plan the workspace precomputes
+
+* the ``(L, w)`` **gather-index matrix** — each row is the permuted signal
+  index stream ``(i*sigma_r + tau_r) mod n`` of loop ``r``, the closed-form
+  index mapping of the paper's Figure 3 materialized for all loops at once;
+* the **padded tap matrix** — the filter taps zero-extended to ``rounds*B``
+  and reshaped ``(rounds, B)``, the exact layout Algorithm 2's loop-partition
+  kernel reads round by round;
+* **scratch buffers** — the raw ``(L, B)`` time-domain bucket matrix and the
+  ``int16`` vote-score array the recovery step accumulates into.
+
+With those in place, :meth:`PlanWorkspace.bin_fused` performs the paper's
+steps 1-2 for *all* ``L`` loops as one fancy-indexed gather plus one
+reshape-sum — no Python-level loop over loops, no per-call allocation — and
+:meth:`PlanWorkspace.bin_fused_stack` extends the same fusion over a stack
+of ``S`` signals for the batched engine (:mod:`repro.core.batch`).
+
+This is the CPU analog of ``cusim``'s
+:class:`~repro.cusim.memory_pool.DeviceMemoryPool`: device codes keep
+per-plan index/scratch arrays resident between launches for the same
+reason.
+
+Workspaces are cached on their plan (see
+:meth:`repro.core.plan.SfftPlan.workspace`) and are **not thread-safe** —
+the scratch buffers are shared state.  Concurrent executors should build a
+private ``PlanWorkspace(plan)`` each.  :meth:`SfftPlan.reseeded` returns a
+*new* plan object, so a reseeded schedule never sees a stale gather matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from .permutation import permuted_indices
+
+__all__ = ["PlanWorkspace", "GATHER_ELEMENT_CAP"]
+
+#: Above this many gather-matrix elements (``L * w``) the workspace stops
+#: materializing the ``(L, w)`` index matrix and regenerates rows on the
+#: fly instead — the asymptotic regime where the index matrix would rival
+#: the signal itself in footprint (int64 gather entries are 8 bytes each).
+GATHER_ELEMENT_CAP = 1 << 25
+
+#: Per-chunk budget (complex elements) for the stacked gather intermediate.
+#: One giant ``(S, L, w)`` gather output defeats the cache it is trying to
+#: feed — measured on the bench workload (n=2^18, S=16), whole-stack
+#: gathers run ~3x slower than cache-sized chunks.  2^17 complex elements
+#: is 2 MB: small plans still gather many signals per chunk, large plans
+#: degrade gracefully to one signal at a time.
+STACK_CHUNK_ELEMENTS = 1 << 17
+
+
+class PlanWorkspace:
+    """Precomputed gather indices, tap layout, and scratch for one plan.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`~repro.core.plan.SfftPlan` to execute.  The workspace
+        snapshots the plan's permutations and filter at construction; it
+        must be rebuilt for a reseeded plan (``plan.reseeded()`` returns a
+        fresh plan whose :meth:`~repro.core.plan.SfftPlan.workspace` does
+        exactly that).
+    gather_cap:
+        Override for :data:`GATHER_ELEMENT_CAP` (tests exercise the
+        fallback path without paying for a huge plan).
+    """
+
+    def __init__(self, plan, *, gather_cap: int | None = None):
+        params = plan.params
+        self.plan = plan
+        self.n = params.n
+        self.B = params.B
+        self.loops = params.loops
+        self.width = plan.filt.width
+        self.rounds = plan.rounds
+        self._padded = self.rounds * self.B
+        cap = GATHER_ELEMENT_CAP if gather_cap is None else int(gather_cap)
+        self._materialize_gather = self.loops * self._padded <= cap
+        self._gather: np.ndarray | None = None
+        self._taps_flat: np.ndarray | None = None
+        self._taps_matrix: np.ndarray | None = None
+        #: raw time-domain bucket scratch, one row per loop
+        self.raw = np.empty((self.loops, self.B), dtype=np.complex128)
+        #: vote-score scratch (int16: scores are bounded by the loop count)
+        self.scores = np.zeros(self.n, dtype=np.int16)
+
+    # -- derived arrays (lazy) ---------------------------------------------
+
+    @property
+    def taps_flat(self) -> np.ndarray:
+        """Filter taps zero-extended to ``rounds * B`` (often a no-copy view)."""
+        if self._taps_flat is None:
+            time = self.plan.filt.time
+            if time.size == self._padded:
+                self._taps_flat = time
+            else:
+                padded = np.zeros(self._padded, dtype=np.complex128)
+                padded[: time.size] = time
+                self._taps_flat = padded
+        return self._taps_flat
+
+    @property
+    def taps_matrix(self) -> np.ndarray:
+        """The padded taps reshaped ``(rounds, B)`` — Algorithm 2's layout."""
+        if self._taps_matrix is None:
+            self._taps_matrix = self.taps_flat.reshape(self.rounds, self.B)
+        return self._taps_matrix
+
+    @property
+    def gather(self) -> np.ndarray | None:
+        """The ``(L, rounds*B)`` gather-index matrix, or ``None`` above cap.
+
+        Row ``r`` holds ``(i*sigma_r + tau_r) mod n`` for ``i`` in
+        ``range(rounds*B)``; entries past the true filter width ``w`` are
+        still valid indices but meet zero taps, so their gathers contribute
+        nothing.
+        """
+        if self._gather is None and self._materialize_gather:
+            self._gather = np.stack(
+                [self._gather_row(r) for r in range(self.loops)]
+            )
+        return self._gather
+
+    def _gather_row(self, r: int) -> np.ndarray:
+        return permuted_indices(self.plan.permutations[r], self._padded)
+
+    # -- fused binning -----------------------------------------------------
+
+    def bin_fused(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Steps 1-2 for all ``L`` loops at once: gather, tap, fold.
+
+        One ``(L, rounds*B)`` fancy-indexed gather replaces the per-loop
+        binner calls; the reshape-sum fold produces the same ``(L, B)``
+        bucket matrix as ``L`` :func:`~repro.core.binning.bin_vectorized`
+        calls (row for row).  With ``out`` omitted the plan-owned scratch
+        is reused, so steady-state executions allocate nothing here.
+        """
+        if x.size != self.n:
+            raise ParameterError(
+                f"signal length {x.size} != plan n={self.n}"
+            )
+        buckets = self.raw if out is None else out
+        if buckets.shape != (self.loops, self.B):
+            raise ParameterError(
+                f"out must have shape {(self.loops, self.B)}, got {buckets.shape}"
+            )
+        gather = self.gather
+        if gather is not None:
+            y = x[gather]
+            y *= self.taps_flat
+            np.sum(y.reshape(self.loops, self.rounds, self.B), axis=1,
+                   out=buckets)
+        else:
+            taps = self.taps_flat
+            for r in range(self.loops):
+                y = x[self._gather_row(r)]
+                y *= taps
+                np.sum(y.reshape(self.rounds, self.B), axis=0,
+                       out=buckets[r])
+        return buckets
+
+    def bin_fused_stack(self, X: np.ndarray) -> np.ndarray:
+        """Fused binning over an ``(S, n)`` signal stack -> ``(S, L, B)``.
+
+        Per-signal rows are identical to :meth:`bin_fused` on that signal;
+        the stack form exists so the batched engine gathers whole chunks of
+        the batch at once.  Chunking (see :data:`STACK_CHUNK_ELEMENTS`)
+        bounds the gather intermediate so the fold stays cache-resident
+        even for large stacks.
+        """
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != self.n:
+            raise ParameterError(
+                f"signal stack must be (S, {self.n}), got {X.shape}"
+            )
+        S = X.shape[0]
+        gather = self.gather
+        out = np.empty((S, self.loops, self.B), dtype=np.complex128)
+        if gather is None:
+            for s in range(S):
+                self.bin_fused(X[s], out=out[s])
+            return out
+        per_signal = self.loops * self._padded
+        chunk = max(1, STACK_CHUNK_ELEMENTS // per_signal)
+        for lo in range(0, S, chunk):
+            hi = min(lo + chunk, S)
+            y = X[lo:hi, gather]
+            y *= self.taps_flat
+            np.sum(
+                y.reshape(hi - lo, self.loops, self.rounds, self.B), axis=2,
+                out=out[lo:hi],
+            )
+        return out

@@ -1,0 +1,138 @@
+"""Unit tests for the per-plan execution workspace and the batch engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PlanWorkspace,
+    bin_vectorized,
+    permuted_indices,
+    sfft,
+    sfft_batch_fused,
+)
+from repro.core.workspace import GATHER_ELEMENT_CAP
+from repro.errors import ParameterError
+from repro.signals import make_sparse_signal
+
+from tests.conftest import cached_plan
+
+
+def _signal_stack(n: int, k: int, S: int, *, seed: int = 500) -> np.ndarray:
+    return np.stack([
+        make_sparse_signal(n, k, seed=seed + t).time for t in range(S)
+    ])
+
+
+class TestWorkspaceArrays:
+    def test_plan_caches_one_workspace(self, plan_small):
+        assert plan_small.workspace() is plan_small.workspace()
+
+    def test_gather_rows_are_permuted_indices(self, plan_small):
+        ws = plan_small.workspace()
+        g = ws.gather
+        assert g.shape == (ws.loops, ws.rounds * ws.B)
+        for r, perm in enumerate(plan_small.permutations):
+            np.testing.assert_array_equal(
+                g[r], permuted_indices(perm, ws.rounds * ws.B)
+            )
+
+    def test_taps_flat_is_a_view_when_already_padded(self, plan_small):
+        ws = plan_small.workspace()
+        # Plans pad taps to a multiple of B, so no copy is needed.
+        assert ws.taps_flat is plan_small.filt.time
+        assert ws.taps_matrix.shape == (ws.rounds, ws.B)
+        np.testing.assert_array_equal(
+            ws.taps_matrix.ravel(), ws.taps_flat
+        )
+
+    def test_gather_cap_disables_materialization(self, plan_small):
+        ws = PlanWorkspace(plan_small, gather_cap=0)
+        assert ws.gather is None
+        assert GATHER_ELEMENT_CAP > 0
+
+
+class TestBinFused:
+    def test_matches_bin_vectorized_row_for_row(self, plan_small, rng):
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        ws = plan_small.workspace()
+        fused = ws.bin_fused(x)
+        for r, perm in enumerate(plan_small.permutations):
+            np.testing.assert_array_equal(
+                fused[r],
+                bin_vectorized(x, plan_small.filt, plan_small.B, perm),
+            )
+
+    def test_fallback_path_matches_materialized(self, plan_small, rng):
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        fused = plan_small.workspace().bin_fused(x).copy()
+        fallback = PlanWorkspace(plan_small, gather_cap=0).bin_fused(x)
+        np.testing.assert_array_equal(fused, fallback)
+
+    def test_reuses_plan_scratch(self, plan_small, rng):
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        ws = plan_small.workspace()
+        assert ws.bin_fused(x) is ws.raw
+        out = np.empty_like(ws.raw)
+        assert ws.bin_fused(x, out=out) is out
+
+    def test_stack_rows_match_single(self, plan_small):
+        X = _signal_stack(1024, 4, 3)
+        ws = plan_small.workspace()
+        stack = ws.bin_fused_stack(X)
+        for s in range(3):
+            np.testing.assert_array_equal(
+                stack[s], ws.bin_fused(X[s]).copy()
+            )
+
+    def test_stack_fallback_matches(self, plan_small):
+        X = _signal_stack(1024, 4, 3)
+        full = plan_small.workspace().bin_fused_stack(X)
+        fallback = PlanWorkspace(plan_small, gather_cap=0).bin_fused_stack(X)
+        np.testing.assert_array_equal(full, fallback)
+
+    def test_shape_validation(self, plan_small, rng):
+        ws = plan_small.workspace()
+        with pytest.raises(ParameterError):
+            ws.bin_fused(np.zeros(512, dtype=np.complex128))
+        with pytest.raises(ParameterError):
+            ws.bin_fused(np.zeros(1024, dtype=np.complex128),
+                         out=np.empty((1, 1), dtype=np.complex128))
+        with pytest.raises(ParameterError):
+            ws.bin_fused_stack(np.zeros((2, 512), dtype=np.complex128))
+
+
+class TestBatchEngine:
+    def test_matches_per_signal_driver_exactly(self):
+        plan = cached_plan(4096, 8)
+        X = _signal_stack(4096, 8, 4)
+        batch = sfft_batch_fused(X, plan)
+        for s in range(4):
+            single = sfft(X[s], plan=plan)
+            np.testing.assert_array_equal(
+                batch[s].locations, single.locations
+            )
+            np.testing.assert_array_equal(batch[s].values, single.values)
+            np.testing.assert_array_equal(batch[s].votes, single.votes)
+
+    def test_single_row_stack(self, plan_small, signal_small):
+        res = sfft_batch_fused(signal_small.time[None, :], plan_small)
+        assert len(res) == 1
+        assert set(res[0].locations.tolist()) == set(
+            signal_small.locations.tolist()
+        )
+
+    def test_strict_raises_per_signal(self, plan_small, rng):
+        from repro.errors import RecoveryError
+
+        # Pure noise: voting cannot reach k coefficients consistently.
+        X = np.stack([rng.standard_normal(1024) * 1e-12 for _ in range(2)])
+        with pytest.raises(RecoveryError):
+            sfft_batch_fused(X, plan_small, strict=True)
+
+    def test_rejects_bad_stack_shapes(self, plan_small):
+        with pytest.raises(ParameterError):
+            sfft_batch_fused(
+                np.zeros((2, 2, 2), dtype=np.complex128), plan_small
+            )
