@@ -11,7 +11,9 @@ With no paths, scans the repository root for ``BENCH_*.json`` files and
 * every file must parse as JSON (``.jsonl``: one JSON document per line);
 * ``.jsonl`` lines must be valid ``repro.run/1`` records (see
   ``repro.obs.validate_run_record`` — one schema, shared with the library
-  so CI and the writer cannot drift);
+  so CI and the writer cannot drift); records named ``bench-executor``
+  additionally must carry the stack geometry and positive
+  ``wall_s_workers_<N>`` walls (the executor scaling curve);
 * ``BENCH_*.json`` declaring ``"schema": "repro.baseline/1"`` or
   ``"repro.trajectory/1"`` (the regression-gate artifacts
   ``BENCH_BASELINE.json`` / ``BENCH_TRAJECTORY.json``) are validated with
@@ -44,6 +46,44 @@ from repro.obs import (  # noqa: E402
 )
 
 
+def check_executor_record(record: dict) -> list[str]:
+    """Shape checks specific to ``bench-executor`` scaling records.
+
+    On top of the generic ``repro.run/1`` schema these records must carry
+    the stack geometry in ``params`` and at least one positive
+    ``wall_s_workers_<N>`` wall per worker leg in ``results``.
+    """
+    problems: list[str] = []
+    params = record.get("params") or {}
+    for key in ("n", "k", "S"):
+        if not isinstance(params.get(key), int):
+            problems.append(f"bench-executor params.{key} must be an int")
+    if not isinstance(params.get("fft_backend"), str):
+        problems.append("bench-executor params.fft_backend must be a string")
+    results = record.get("results") or {}
+    walls = {
+        key: val for key, val in results.items()
+        if key.startswith("wall_s_workers_")
+        and key[len("wall_s_workers_"):].isdigit()
+    }
+    if not walls:
+        problems.append(
+            "bench-executor results must include at least one "
+            "wall_s_workers_<N> timing"
+        )
+    for key, val in sorted(walls.items()):
+        if not (isinstance(val, (int, float)) and not isinstance(val, bool)
+                and val > 0):
+            problems.append(f"bench-executor results.{key} must be > 0")
+    for key in ("speedup_4v1_x",):
+        if key in results:
+            val = results[key]
+            if not (isinstance(val, (int, float))
+                    and not isinstance(val, bool) and val > 0):
+                problems.append(f"bench-executor results.{key} must be > 0")
+    return problems
+
+
 def check_jsonl(path: str) -> list[str]:
     """Problems found in a JSONL run-record file."""
     problems: list[str] = []
@@ -59,6 +99,9 @@ def check_jsonl(path: str) -> list[str]:
                 continue
             for issue in validate_run_record(record):
                 problems.append(f"{path}:{lineno}: {issue}")
+            if isinstance(record, dict) and record.get("name") == "bench-executor":
+                for issue in check_executor_record(record):
+                    problems.append(f"{path}:{lineno}: {issue}")
     return problems
 
 

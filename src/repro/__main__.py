@@ -16,7 +16,14 @@ Observability flags:
 * ``--batch S`` — additionally push a stack of ``S`` fresh sparse signals
   through the batched execution engine (:func:`repro.core.sfft_batch`)
   under one shared plan and report the amortized per-transform time next
-  to the single-call time.
+  to the single-call time;
+* ``--workers N`` — run the batch leg through the sharded pipelined
+  executor (:class:`repro.core.ShardedExecutor`) with ``N`` worker
+  threads (default 1: the serial fused engine);
+* ``--fft-backend NAME`` — select the process-wide FFT backend
+  (``numpy``/``scipy``/``pyfftw``; see :mod:`repro.core.fft_backend`).
+  The *resolved* backend (after optional-dependency fallback) is echoed
+  in text output and in the ``repro.run/1`` record's params.
 
 ``python -m repro report`` is the terminal dashboard over the committed
 performance artifacts: trajectory sparklines per experiment
@@ -77,6 +84,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch", metavar="S", default=1, type=_batch_arg,
                         help="also run a stack of S signals through the "
                              "batched engine under one plan (default: off)")
+    parser.add_argument("--workers", metavar="N", default=1,
+                        type=_workers_arg,
+                        help="drive the batch leg through the sharded "
+                             "executor with N worker threads (default: 1, "
+                             "the serial fused engine)")
+    from .core.fft_backend import registered_backends
+
+    parser.add_argument("--fft-backend", metavar="NAME", default=None,
+                        choices=registered_backends(),
+                        help="FFT backend for every dense FFT "
+                             f"({', '.join(registered_backends())}; "
+                             "default: $REPRO_FFT_BACKEND or numpy)")
     return parser
 
 
@@ -104,6 +123,20 @@ def _batch_arg(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"batch size must be >= 1, got {value}"
+        )
+    return value
+
+
+def _workers_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1, got {value}"
         )
     return value
 
@@ -297,6 +330,15 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    from .core.fft_backend import default_backend_name, set_default_backend
+
+    # Resolve the FFT backend once for the whole process: the resolved name
+    # (after optional-dependency fallback) is what gets echoed everywhere.
+    if args.fft_backend is not None:
+        fft_backend = set_default_backend(args.fft_backend)
+    else:
+        fft_backend = default_backend_name()
+
     tracer = Tracer()
     metrics = MetricsRegistry()
 
@@ -315,7 +357,7 @@ def main(argv: list[str] | None = None) -> int:
     # sfft_batch call — amortized per-transform time vs the single call.
     batch_stats = None
     if args.batch > 1:
-        from .core import make_plan, sfft_batch
+        from .core import ShardedExecutor, make_plan, sfft_batch
 
         S = args.batch
         plan = make_plan(n, k, seed=1)
@@ -324,8 +366,13 @@ def main(argv: list[str] | None = None) -> int:
             for t in range(S)
         ]
         stack = np.stack([s.time for s in batch_sigs])
+        executor = None
+        if args.workers > 1:
+            executor = ShardedExecutor(workers=args.workers)
         t0 = time.perf_counter()
-        batch_results = sfft_batch(stack, plan=plan)
+        batch_results = sfft_batch(
+            stack, plan=plan, executor=executor,
+        )
         t_batch = time.perf_counter() - t0
         batch_ok = all(
             set(r.locations.tolist()) == set(s.locations.tolist())
@@ -333,6 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         batch_stats = {
             "size": S,
+            "workers": args.workers,
             "wall_s": t_batch,
             "amortized_s": t_batch / S,
             "exact": batch_ok,
@@ -353,7 +401,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         record = make_run_record(
             "repro-demo",
-            params={"n": n, "k": k, "n_log2": logn},
+            params={"n": n, "k": k, "n_log2": logn,
+                    "fft_backend": fft_backend, "workers": args.workers},
             tracer=tracer,
             registry=metrics,
             results={
@@ -381,6 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if ok else 1
 
     print(f"repro: sparse FFT of an exactly {k}-sparse signal, n = 2^{logn}")
+    print(f"  fft backend: {fft_backend}")
     print(f"  recovery: {'exact' if ok else 'INCOMPLETE'}  "
           f"(L1/coeff = {err:.2e})")
     print(f"  wall-clock: sfft {t_sparse * 1e3:.1f} ms vs numpy.fft "
@@ -389,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  batched engine: {batch_stats['size']} signals in "
               f"{batch_stats['wall_s'] * 1e3:.1f} ms "
               f"({batch_stats['amortized_s'] * 1e3:.2f} ms/transform, "
+              f"{batch_stats['workers']} worker(s), "
               f"recovery {'exact' if batch_stats['exact'] else 'INCOMPLETE'})")
     print(f"\nsimulated cusFFT (Tesla K20x model): "
           f"{run.modeled_time_s * 1e3:.3f} ms")

@@ -1,7 +1,15 @@
 """The sparse FFT core: parameters, plans, and the six-step pipeline."""
 
-from .batch import sfft_batch_fused
+from .batch import run_stack_pipeline, sfft_batch_fused
 from .binning import bin_loop_partition, bin_serial, bin_vectorized
+from .executor import ShardedExecutor
+from .fft_backend import (
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    set_default_backend,
+)
 from .comb import comb_approved_residues, comb_spectrum
 from .cutoff import (
     cutoff,
@@ -85,6 +93,13 @@ __all__ = [
     "rsfft",
     "sfft_batch",
     "sfft_batch_fused",
+    "run_stack_pipeline",
+    "ShardedExecutor",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "set_default_backend",
     "GATHER_ELEMENT_CAP",
     "PlanWorkspace",
 ]

@@ -4,7 +4,9 @@ After folding, a single ``B``-point FFT turns the time-domain buckets into
 frequency-domain buckets.  Because all ``L`` loops transform the same size
 ``B``, the GPU implementation batches them into one cuFFT call (shared
 twiddle factors); the CPU path mirrors that with one vectorized call over a
-``(L, B)`` array.
+``(L, B)`` array, routed through the pluggable backend registry
+(:mod:`repro.core.fft_backend`) so the vendor FFT is swappable exactly as
+cuFFT/FFTW are in the paper's builds.
 
 The *fold-subsample identity* (tested) is what makes this legitimate:
 ``fft_B(fold_B(y)) == fft_n(y)[::n//B]`` for any length-``n`` ``y``.
@@ -15,19 +17,28 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ParameterError
+from .fft_backend import get_backend
 
 __all__ = ["bucket_fft", "subsample_spectrum"]
 
 
-def bucket_fft(buckets: np.ndarray) -> np.ndarray:
+def bucket_fft(
+    buckets: np.ndarray,
+    *,
+    backend: str | None = None,
+    workers: int = 1,
+) -> np.ndarray:
     """FFT the buckets of one loop (1-D) or all loops batched (2-D, last axis).
 
-    Matches the batched-cuFFT call of the paper's step 3.
+    Matches the batched-cuFFT call of the paper's step 3.  ``backend``
+    names a registered FFT backend (default: the process default — see
+    :func:`repro.core.fft_backend.get_backend`); ``workers`` is the
+    intra-call thread fan-out for backends that support it.
     """
     b = np.asarray(buckets, dtype=np.complex128)
     if b.ndim not in (1, 2):
         raise ParameterError(f"buckets must be 1-D or 2-D, got shape {b.shape}")
-    return np.fft.fft(b, axis=-1)
+    return get_backend(backend).fft(b, axis=-1, workers=workers)
 
 
 def subsample_spectrum(spectrum: np.ndarray, B: int) -> np.ndarray:

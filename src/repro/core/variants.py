@@ -87,7 +87,7 @@ def rsfft(x, k: int | None = None, **kwargs) -> SparseFFTResult:
 
 
 _EXEC_KEYS = ("binning", "cutoff_method", "comb_width", "comb_loops",
-              "trim_to_k", "strict", "profile")
+              "trim_to_k", "strict", "profile", "fft_backend", "fft_workers")
 
 
 def sfft_batch(
@@ -96,6 +96,7 @@ def sfft_batch(
     *,
     plan: SfftPlan | None = None,
     seed: RngLike = None,
+    executor=None,
     **kwargs,
 ) -> list[SparseFFTResult]:
     """Transform a batch of equal-length signals under one shared plan.
@@ -107,9 +108,17 @@ def sfft_batch(
     ``(S*L, B)`` bucket FFT, one vote pass for every signal.  Per-signal
     results match ``sfft(signals[s], plan=plan)`` exactly.
 
+    ``executor`` parallelizes the fused engine across shards of the stack:
+    pass a :class:`~repro.core.executor.ShardedExecutor`, or an ``int``
+    worker count as shorthand for ``ShardedExecutor(workers=N)``.  Sharded
+    results are bit-identical to the serial fused engine.  ``fft_backend``
+    / ``fft_workers`` keyword arguments select the bucket-FFT
+    implementation (:mod:`repro.core.fft_backend`).
+
     Requests the fused engine cannot express (an explicit non-default
     ``binning``, or ``profile=True`` for per-step timing) fall back to the
-    per-signal driver loop, preserving the old semantics.
+    per-signal driver loop — ignoring ``executor`` — preserving the old
+    semantics.
     """
     if isinstance(signals, np.ndarray):
         # Rows of a contiguous stack validate without copying; the fused
@@ -143,8 +152,27 @@ def sfft_batch(
     if fused_ok:
         exec_kwargs.pop("binning", None)
         exec_kwargs.pop("profile", None)
-        return sfft_batch_fused(
-            stack if stack is not None else np.stack(rows),
-            plan, seed=seed, **exec_kwargs,
-        )
+        X = stack if stack is not None else np.stack(rows)
+        if executor is not None:
+            from .executor import ShardedExecutor
+
+            if isinstance(executor, int):
+                executor = ShardedExecutor(workers=executor)
+            if not isinstance(executor, ShardedExecutor):
+                raise ParameterError(
+                    f"executor must be a ShardedExecutor or an int worker "
+                    f"count, got {type(executor).__name__}"
+                )
+            # The executor owns its FFT-backend binding; per-call
+            # fft_backend/fft_workers would silently fight it.
+            for key in ("fft_backend", "fft_workers"):
+                if key in exec_kwargs:
+                    raise ParameterError(
+                        f"pass {key} to the ShardedExecutor, not alongside "
+                        f"executor="
+                    )
+            return executor.run(X, plan, seed=seed, **exec_kwargs)
+        return sfft_batch_fused(X, plan, seed=seed, **exec_kwargs)
+    exec_kwargs.pop("fft_backend", None)
+    exec_kwargs.pop("fft_workers", None)
     return [sfft(r, plan=plan, seed=seed, **exec_kwargs) for r in rows]

@@ -29,9 +29,18 @@ reason.
 
 Workspaces are cached on their plan (see
 :meth:`repro.core.plan.SfftPlan.workspace`) and are **not thread-safe** —
-the scratch buffers are shared state.  Concurrent executors should build a
-private ``PlanWorkspace(plan)`` each.  :meth:`SfftPlan.reseeded` returns a
-*new* plan object, so a reseeded schedule never sees a stale gather matrix.
+the scratch buffers are shared state.  Concurrent executors call
+:meth:`PlanWorkspace.clone` for a private twin per worker: the immutable
+derived arrays (gather matrix, tap layout) are *shared* while the scratch
+buffers are fresh, so an N-worker pool pays the index precomputation once.
+:meth:`SfftPlan.reseeded` returns a *new* plan object, so a reseeded
+schedule never sees a stale gather matrix.
+
+Taking the :data:`GATHER_ELEMENT_CAP` fallback (regenerating gather rows on
+the fly instead of materializing the index matrix) is visible as the
+``sfft.workspace.gather_cap_fallback`` counter in the global metrics
+registry — the path trades speed for footprint and should never engage
+silently.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from .permutation import permuted_indices
+from .subsampled import bucket_fft as _dispatch_bucket_fft
 
 __all__ = ["PlanWorkspace", "GATHER_ELEMENT_CAP"]
 
@@ -72,9 +82,19 @@ class PlanWorkspace:
     gather_cap:
         Override for :data:`GATHER_ELEMENT_CAP` (tests exercise the
         fallback path without paying for a huge plan).
+    fft_backend:
+        Name of the FFT backend :meth:`bucket_fft` resolves (``None`` =
+        process default); ``fft_workers`` is its intra-call thread fan-out.
     """
 
-    def __init__(self, plan, *, gather_cap: int | None = None):
+    def __init__(
+        self,
+        plan,
+        *,
+        gather_cap: int | None = None,
+        fft_backend: str | None = None,
+        fft_workers: int = 1,
+    ):
         params = plan.params
         self.plan = plan
         self.n = params.n
@@ -83,8 +103,21 @@ class PlanWorkspace:
         self.width = plan.filt.width
         self.rounds = plan.rounds
         self._padded = self.rounds * self.B
-        cap = GATHER_ELEMENT_CAP if gather_cap is None else int(gather_cap)
-        self._materialize_gather = self.loops * self._padded <= cap
+        self._gather_cap = GATHER_ELEMENT_CAP if gather_cap is None \
+            else int(gather_cap)
+        self._materialize_gather = (
+            self.loops * self._padded <= self._gather_cap
+        )
+        if not self._materialize_gather:
+            # Regenerating rows on the fly is a graceful degradation, not a
+            # silent one: surface it in the shared metrics registry.
+            from ..obs import global_registry
+
+            global_registry().counter(
+                "sfft.workspace.gather_cap_fallback"
+            ).inc()
+        self.fft_backend = fft_backend
+        self.fft_workers = int(fft_workers)
         self._gather: np.ndarray | None = None
         self._taps_flat: np.ndarray | None = None
         self._taps_matrix: np.ndarray | None = None
@@ -132,6 +165,51 @@ class PlanWorkspace:
 
     def _gather_row(self, r: int) -> np.ndarray:
         return permuted_indices(self.plan.permutations[r], self._padded)
+
+    # -- concurrency -------------------------------------------------------
+
+    def clone(
+        self,
+        *,
+        fft_backend: str | None = None,
+        fft_workers: int | None = None,
+    ) -> "PlanWorkspace":
+        """A private twin for a concurrent worker: shared indices, own scratch.
+
+        The derived arrays (gather matrix, padded taps) are immutable on
+        the hot path, so the clone *shares* them — an N-worker pool pays
+        index precomputation once — while the mutable scratch (``raw``,
+        ``scores``) is freshly allocated per clone.  ``fft_backend`` /
+        ``fft_workers`` override the parent's FFT dispatch for this clone.
+        """
+        if self._materialize_gather:
+            _ = self.gather  # build once here, before sharing
+        _ = self.taps_flat
+        twin = PlanWorkspace(
+            self.plan,
+            gather_cap=self._gather_cap,
+            fft_backend=self.fft_backend if fft_backend is None
+            else fft_backend,
+            fft_workers=self.fft_workers if fft_workers is None
+            else fft_workers,
+        )
+        twin._gather = self._gather
+        twin._taps_flat = self._taps_flat
+        twin._taps_matrix = self._taps_matrix
+        return twin
+
+    # -- bucket FFT dispatch -----------------------------------------------
+
+    def bucket_fft(self, buckets: np.ndarray) -> np.ndarray:
+        """Step 3 through this workspace's FFT backend binding.
+
+        Same transform as :func:`repro.core.subsampled.bucket_fft`, with
+        the backend/worker fan-out chosen at workspace construction (the
+        sharded executor binds them per worker).
+        """
+        return _dispatch_bucket_fft(
+            buckets, backend=self.fft_backend, workers=self.fft_workers
+        )
 
     # -- fused binning -----------------------------------------------------
 

@@ -1,6 +1,9 @@
 """Simulated parallel FFTW (the paper's multicore CPU dense baseline).
 
-Functional execution is :func:`numpy.fft.fft` — the identical transform.
+Functional execution resolves through the shared FFT backend registry
+(:mod:`repro.core.fft_backend`) — numerically the identical transform
+under every backend; with the ``scipy``/``pyfftw`` backends the plan's
+``threads`` become a real intra-call fan-out.
 The cost model prices a planned, multithreaded FFTW execution on the
 Table II machine:
 
@@ -49,8 +52,17 @@ class FftwPlan:
             raise ParameterError(f"threads must be >= 1, got {self.threads}")
 
     def execute(self, x) -> np.ndarray:
-        """Run the transform (functional; numerically identical to FFTW)."""
-        return np.fft.fft(as_complex_signal(x, self.n))
+        """Run the transform (functional; numerically identical to FFTW).
+
+        Dispatches through :func:`repro.core.fft_backend.get_backend`, so
+        the process-wide backend selection (CLI flag / env var) applies to
+        the dense comparator exactly as it does to the bucket FFT.
+        """
+        from ..core.fft_backend import get_backend
+
+        return get_backend().fft(
+            as_complex_signal(x, self.n), axis=-1, workers=self.threads
+        )
 
     # -- cost ---------------------------------------------------------------
 

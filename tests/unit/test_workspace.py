@@ -52,6 +52,57 @@ class TestWorkspaceArrays:
         assert ws.gather is None
         assert GATHER_ELEMENT_CAP > 0
 
+    def test_gather_cap_fallback_counted(self, plan_small):
+        from repro.obs import global_registry
+
+        before = global_registry().counter(
+            "sfft.workspace.gather_cap_fallback"
+        ).value
+        PlanWorkspace(plan_small, gather_cap=0)
+        after = global_registry().counter(
+            "sfft.workspace.gather_cap_fallback"
+        ).value
+        assert after == before + 1
+        # The materializing path must not touch the counter.
+        PlanWorkspace(plan_small)
+        assert global_registry().counter(
+            "sfft.workspace.gather_cap_fallback"
+        ).value == after
+
+
+class TestWorkspaceClone:
+    def test_clone_shares_immutable_arrays(self, plan_small):
+        ws = plan_small.workspace()
+        twin = ws.clone()
+        assert twin is not ws
+        assert twin.gather is ws.gather
+        assert twin.taps_flat is ws.taps_flat
+
+    def test_clone_has_private_scratch(self, plan_small, rng):
+        ws = plan_small.workspace()
+        twin = ws.clone()
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        a = ws.bin_fused(x)
+        b = twin.bin_fused(x)
+        assert a is not b  # distinct scratch buffers
+        np.testing.assert_array_equal(a, b)
+
+    def test_clone_rebinds_fft_backend(self, plan_small, rng):
+        twin = plan_small.workspace().clone(fft_backend="numpy",
+                                            fft_workers=2)
+        assert twin.fft_backend == "numpy"
+        assert twin.fft_workers == 2
+        buckets = (rng.standard_normal((3, 8))
+                   + 1j * rng.standard_normal((3, 8)))
+        np.testing.assert_array_equal(
+            twin.bucket_fft(buckets), np.fft.fft(buckets, axis=-1)
+        )
+
+    def test_clone_preserves_gather_cap_fallback(self, plan_small):
+        capped = PlanWorkspace(plan_small, gather_cap=0)
+        twin = capped.clone()
+        assert twin.gather is None
+
 
 class TestBinFused:
     def test_matches_bin_vectorized_row_for_row(self, plan_small, rng):
