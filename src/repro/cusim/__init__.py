@@ -1,7 +1,7 @@
 """Simulated CUDA substrate: device model, memory/coalescing, kernels,
 streams, and an event-driven overlap scheduler."""
 
-from .atomics import AtomicProfile, atomic_time
+from .atomics import AtomicProfile, atomic_add, atomic_time
 from .audit import AccessAudit, audit_addresses, classify_pattern
 from .device import GPU_DEVICES, KEPLER_K20X, KEPLER_K40, MAXWELL_M40, DeviceSpec, Occupancy
 from .kernel import KernelSpec, KernelTiming, estimate_kernel
@@ -21,7 +21,7 @@ from .profiler import (
     render_timeline,
     summarize,
 )
-from .simt import SimtReport, VBuffer, WarpContext, simt_price, simt_run
+from .simt import MemEvent, SimtReport, VBuffer, WarpContext, simt_price, simt_run
 from .shared import (
     SharedAccess,
     bank_conflict_factor,
@@ -34,6 +34,7 @@ from .timeline import GpuSimulation, OpRecord, TimelineReport
 
 __all__ = [
     "AtomicProfile",
+    "atomic_add",
     "atomic_time",
     "AccessAudit",
     "audit_addresses",
@@ -55,6 +56,7 @@ __all__ = [
     "transaction_count",
     "useful_bytes",
     "wire_bytes",
+    "MemEvent",
     "SimtReport",
     "VBuffer",
     "WarpContext",

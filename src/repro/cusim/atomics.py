@@ -16,10 +16,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ParameterError
 from .device import DeviceSpec
 
-__all__ = ["AtomicProfile", "atomic_time"]
+__all__ = ["AtomicProfile", "atomic_add", "atomic_time"]
+
+
+def atomic_add(data: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+    """Functional ``atomicAdd``: serialized accumulate into ``data[idx]``.
+
+    ``np.add.at`` applies every update even when lanes target the same
+    element — the read-modify-write never loses an increment, exactly the
+    guarantee device atomics buy (at the serialization cost
+    :func:`atomic_time` prices).  This is the one sanctioned way for a
+    SIMT kernel to do conflicting writes; the race detector treats stores
+    routed here (via :meth:`repro.cusim.simt.WarpContext.atomic_add`) as
+    conflict-free by contract.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= data.size):
+        raise ParameterError(
+            f"atomic_add index out of range [0, {data.size})"
+        )
+    np.add.at(data, idx, np.asarray(values, dtype=data.dtype))
 
 
 @dataclass(frozen=True)

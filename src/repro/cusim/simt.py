@@ -34,7 +34,8 @@ import numpy as np
 from ..errors import ParameterError
 from .device import DeviceSpec
 
-__all__ = ["VBuffer", "WarpContext", "SimtReport", "simt_run", "simt_price"]
+__all__ = ["VBuffer", "WarpContext", "MemEvent", "SimtReport", "simt_run",
+           "simt_price"]
 
 #: Virtual buffers are placed on disjoint, segment-aligned base addresses.
 _BASE_ALIGN = 1 << 20
@@ -61,12 +62,29 @@ class VBuffer:
 
 
 @dataclass
-class _Event:
+class MemEvent:
+    """One warp-level memory operation, as recorded by the interpreter.
+
+    The race detector (:mod:`repro.analysis.staticcheck.races`) consumes
+    the full event stream: ``tids`` are the global thread ids of the lanes
+    that actually issued the access, ``indices`` the *raw* per-lane element
+    indices as computed by the kernel (before the functional ``% size``
+    wrap, so out-of-bounds addressing stays visible), and ``atomic`` marks
+    accesses routed through :mod:`repro.cusim.atomics`.
+    """
+
     kind: str               # "load" | "store"
     buffer: VBuffer
-    addresses: np.ndarray   # per active lane
+    addresses: np.ndarray   # per active lane (wrapped, byte addresses)
     active_lanes: int
     warp_lanes: int
+    tids: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    indices: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    atomic: bool = False
+
+
+#: Backward-compatible alias (the event type used to be private).
+_Event = MemEvent
 
 
 class WarpContext:
@@ -101,8 +119,9 @@ class WarpContext:
             lane_idx = idx[act] % buf.data.size
             out[act] = buf.data[lane_idx]
             self._events.append(
-                _Event("load", buf, buf.addresses(lane_idx), int(act.sum()),
-                       self.tid.size)
+                MemEvent("load", buf, buf.addresses(lane_idx), int(act.sum()),
+                         self.tid.size, tids=self.tid[act].copy(),
+                         indices=idx[act].copy())
             )
         return out
 
@@ -117,8 +136,34 @@ class WarpContext:
             lane_idx = idx[act] % buf.data.size
             buf.data[lane_idx] = values[act]
             self._events.append(
-                _Event("store", buf, buf.addresses(lane_idx), int(act.sum()),
-                       self.tid.size)
+                MemEvent("store", buf, buf.addresses(lane_idx),
+                         int(act.sum()), self.tid.size,
+                         tids=self.tid[act].copy(), indices=idx[act].copy())
+            )
+
+    def atomic_add(self, buf: VBuffer, idx, values) -> None:
+        """Atomically accumulate ``values`` into ``buf[idx]`` (active lanes).
+
+        Routed through :func:`repro.cusim.atomics.atomic_add`: duplicate
+        per-lane targets serialize instead of losing updates, exactly like
+        device ``atomicAdd`` — and the recorded event is marked ``atomic``,
+        which is what exempts it from the race detector's conflict rules.
+        """
+        from .atomics import atomic_add as _atomic_add
+
+        idx = np.asarray(idx, dtype=np.int64)
+        values = np.asarray(values)
+        if idx.shape != self.tid.shape or values.shape != self.tid.shape:
+            raise ParameterError("per-lane index/value shape mismatch")
+        act = self.active
+        if act.any():
+            lane_idx = idx[act] % buf.data.size
+            _atomic_add(buf.data, lane_idx, values[act])
+            self._events.append(
+                MemEvent("store", buf, buf.addresses(lane_idx),
+                         int(act.sum()), self.tid.size,
+                         tids=self.tid[act].copy(), indices=idx[act].copy(),
+                         atomic=True)
             )
 
     # -- predication --------------------------------------------------------
@@ -145,12 +190,18 @@ class SimtReport:
     total_threads: int
     loads: int = 0
     stores: int = 0
+    #: stores issued through :meth:`WarpContext.atomic_add` (subset of
+    #: ``stores`` — atomics still move bytes over the wire)
+    atomic_ops: int = 0
     transactions: int = 0
     wire_bytes: int = 0
     useful_bytes: int = 0
     #: average fraction of lanes active across memory operations
     lane_utilization: float = 1.0
     per_buffer_transactions: dict[int, int] = field(default_factory=dict)
+    #: the full memory-event trace, in issue order (race-detector input)
+    events: list[MemEvent] = field(default_factory=list, repr=False,
+                                   compare=False)
 
     @property
     def coalescing_efficiency(self) -> float:
@@ -189,7 +240,7 @@ def simt_run(
         if warp._mask_stack:
             raise ParameterError("kernel exited with an unbalanced mask stack")
 
-    report = SimtReport(total_threads=total_threads)
+    report = SimtReport(total_threads=total_threads, events=events)
     utilizations = []
     for ev in events:
         segs = np.unique(ev.addresses // device.transaction_bytes).size
@@ -205,6 +256,8 @@ def simt_run(
             report.loads += ev.active_lanes
         else:
             report.stores += ev.active_lanes
+            if ev.atomic:
+                report.atomic_ops += ev.active_lanes
     if utilizations:
         report.lane_utilization = float(np.mean(utilizations))
     return report, vbufs

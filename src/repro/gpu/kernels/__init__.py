@@ -1,6 +1,11 @@
 """cusFFT device kernels: functional bodies + cost specifications."""
 
 from .estimate import estimate_functional, estimate_spec
+from .histogram import (
+    make_atomic_histogram_kernel,
+    make_naive_histogram_kernel,
+    make_partition_binner_kernel,
+)
 from .layout import (
     bin_layout_functional,
     exec_chunk_functional,
@@ -26,6 +31,9 @@ from .select import (
 __all__ = [
     "estimate_functional",
     "estimate_spec",
+    "make_atomic_histogram_kernel",
+    "make_naive_histogram_kernel",
+    "make_partition_binner_kernel",
     "bin_layout_functional",
     "exec_chunk_functional",
     "exec_spec",

@@ -1,0 +1,97 @@
+"""SIMT kernel bodies for the histogram-style fold (Section IV-C).
+
+:mod:`.perm_filter` holds the *cost specs* and vectorized functional
+equivalents of the two binning formulations; this module holds the actual
+lockstep kernel bodies the :mod:`repro.cusim.simt` interpreter can run and
+the race detector (:mod:`repro.analysis.staticcheck.races`) can audit:
+
+* :func:`make_naive_histogram_kernel` — the conventional GPU histogram the
+  paper rejects, written the *wrong* way on purpose: thread-per-element,
+  unguarded load-add-store into a shared bucket array.  Two threads whose
+  keys collide race on the bucket word; the interpreter's last-write-wins
+  store semantics even loses counts, just like real hardware would.  This
+  kernel exists as the race detector's negative control — ``python -m
+  repro lint`` verifies it is still flagged on every run.
+* :func:`make_atomic_histogram_kernel` — the same fold with the
+  read-modify-write routed through
+  :meth:`~repro.cusim.simt.WarpContext.atomic_add`.  Counts are exact and
+  the detector passes it by contract.
+* :func:`make_partition_binner_kernel` — Algorithm 2's loop partition: one
+  thread per bucket, ``w/B`` rounds, a private register accumulator, one
+  store to ``buckets[tid]`` at the end.  Collision-free with *no* atomics
+  — the claim the symbolic analyzer
+  (:mod:`repro.analysis.staticcheck.symbolic`) proves for all ``B``, and
+  the trace check confirms at any concrete size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ParameterError
+
+__all__ = [
+    "make_naive_histogram_kernel",
+    "make_atomic_histogram_kernel",
+    "make_partition_binner_kernel",
+]
+
+
+def make_naive_histogram_kernel():
+    """The rejected conventional histogram: unguarded ``buckets[key] += 1``.
+
+    Launch with one thread per key over ``(keys, buckets)`` buffers.  The
+    bucket index is data-dependent (``keys[tid]``), so nothing bounds which
+    threads collide — the exact situation Section IV-C's atomics would have
+    to serialize, and the dominant correctness failure mode across sFFT
+    ports.  Deliberately racy; keep it out of any production path.
+    """
+
+    def naive_histogram(warp, keys, buckets):
+        k = warp.load(keys, warp.tid).astype(np.int64)
+        count = warp.load(buckets, k)
+        warp.store(buckets, k, count + 1.0)
+
+    return naive_histogram
+
+
+def make_atomic_histogram_kernel():
+    """The same histogram with the update routed through device atomics."""
+
+    def atomic_histogram(warp, keys, buckets):
+        k = warp.load(keys, warp.tid).astype(np.int64)
+        warp.atomic_add(buckets, k, np.ones(warp.tid.size, dtype=np.float64))
+
+    return atomic_histogram
+
+
+def make_partition_binner_kernel(
+    *, B: int, rounds: int, sigma: int, tau: int, n: int, width: int
+):
+    """Algorithm 2's loop-partition binner as a lockstep kernel body.
+
+    Launch with ``total_threads=B`` over ``(signal, filter, buckets)``
+    buffers.  Thread ``tid`` accumulates rounds ``j`` of
+    ``signal[((tid + B*j)*sigma + tau) % n] * filter[tid + B*j]`` into a
+    register and stores once to ``buckets[tid]`` — the store schedule is
+    the identity over ``[0, B)``, which is why no two threads ever touch
+    the same bucket word and the kernel needs no atomics.
+    """
+    if B < 1 or rounds < 1:
+        raise ParameterError(f"B={B} and rounds={rounds} must be >= 1")
+    if not 0 < width <= rounds * B:
+        raise ParameterError(
+            f"width={width} must be in (0, rounds*B={rounds * B}]"
+        )
+
+    def partition_binner(warp, signal, filt, buckets):
+        acc = np.zeros(warp.tid.size, dtype=np.complex128)
+        for j in range(rounds):
+            off = warp.tid + B * j
+            warp.push_mask(off < width)
+            idx = (off * sigma + tau) % n
+            acc = acc + warp.load(signal, idx) * warp.load(filt, off)
+            warp.pop_mask()
+        warp.store(buckets, warp.tid, acc)
+
+    return partition_binner
