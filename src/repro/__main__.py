@@ -316,6 +316,10 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["report"]:
         return report_main(argv[1:])
+    if argv[:1] == ["lint"]:
+        from .analysis.staticcheck.cli import lint_main
+
+        return lint_main(argv[1:])
     parser = _build_parser()
     try:
         args = parser.parse_args(argv)

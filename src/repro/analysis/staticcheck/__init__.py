@@ -1,0 +1,59 @@
+"""``reprolint`` — static analysis over the repo's own invariants.
+
+Two engines behind one structured finding format (``repro.lint/1``):
+
+* the **kernel access checker** (:mod:`.races`, :mod:`.symbolic`) — turns
+  the :mod:`repro.cusim.simt` load/store trace into a race detector
+  (write-write and read-write conflicts not routed through
+  :mod:`repro.cusim.atomics`, out-of-bounds indices, warp-divergent
+  stores) and proves affine store schedules collision-free *for all*
+  thread counts, not just traced sizes;
+* the **repo-invariant linter** (:mod:`.rules`) — an AST pass over
+  ``src/repro`` enforcing the project contracts that PR 1–4 established
+  only by convention (single FFT dispatch point, metric-name families,
+  frozen workspace arrays, no wall-clock in ``core``/``gpu``, typed
+  errors at entry points).
+
+``python -m repro lint`` (see :mod:`.cli`) runs both engines; findings can
+be suppressed per line with ``# reprolint: ignore[rule]``.
+"""
+
+from .engine import collect_findings, kernel_battery, lint_tree
+from .findings import (
+    LINT_SCHEMA,
+    Finding,
+    Suppressions,
+    validate_lint_record,
+)
+from .races import KernelCheck, check_kernel, detect_races
+from .rules import RULES, Rule, lint_source
+from .symbolic import (
+    AffineIndex,
+    Proof,
+    binner_store_index,
+    fit_affine,
+    prove_injective,
+    prove_loop_partition_binner,
+)
+
+__all__ = [
+    "LINT_SCHEMA",
+    "Finding",
+    "Suppressions",
+    "validate_lint_record",
+    "KernelCheck",
+    "check_kernel",
+    "detect_races",
+    "RULES",
+    "Rule",
+    "lint_source",
+    "AffineIndex",
+    "Proof",
+    "binner_store_index",
+    "fit_affine",
+    "prove_injective",
+    "prove_loop_partition_binner",
+    "collect_findings",
+    "kernel_battery",
+    "lint_tree",
+]

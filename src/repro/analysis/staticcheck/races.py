@@ -1,0 +1,221 @@
+"""Kernel access checker: races, out-of-bounds, divergent stores.
+
+Section IV-C's whole argument is that the conventional histogram kernel
+races on bucket updates unless every update pays for an atomic; this
+module makes that property *checkable* instead of declared.  It consumes
+the memory-event trace the :mod:`repro.cusim.simt` interpreter records
+(per-lane thread ids, raw indices, atomic flag) and reports:
+
+* ``kernel-race`` — the same buffer element touched by two *different*
+  threads where at least one access is a non-atomic write.  Write-write
+  and read-write conflicts are both flagged; accesses routed through
+  :meth:`~repro.cusim.simt.WarpContext.atomic_add` are conflict-free by
+  contract (that is the contract).  Lockstep execution order is *not*
+  assumed to synchronize anything: on hardware the colliding warps are
+  scheduled freely, so any cross-thread conflict is a defect.
+* ``kernel-oob`` — a raw per-lane index outside ``[0, size)``.  The
+  interpreter wraps indices modulo the buffer size to stay functional,
+  exactly like the silent corruption OOB addressing causes on device —
+  the checker makes it loud.
+* ``kernel-divergent-store`` (warning) — a store issued under a narrowed
+  predication mask.  Divergent stores are legal but usually indicate a
+  guard that belongs on the launch geometry, and they serialize the warp.
+
+Findings anchor to the kernel function's own ``file:line`` (via its code
+object), so a flagged kernel is one click away.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...cusim.device import DeviceSpec
+from ...cusim.simt import MemEvent, SimtReport, VBuffer, simt_run
+from .findings import Finding
+
+__all__ = ["KernelCheck", "check_kernel", "detect_races"]
+
+#: Cap on findings reported per (rule, buffer) pair — a racy histogram
+#: collides on thousands of addresses; the first few localize the bug and
+#: the summary line carries the total.
+_MAX_PER_BUFFER = 3
+
+
+def _kernel_anchor(kernel) -> tuple[str, int]:
+    """``(path, line)`` of the kernel body's ``def``, repo-relative-ish."""
+    code = getattr(kernel, "__code__", None)
+    if code is None:  # e.g. a functools.partial or callable object
+        return getattr(kernel, "__module__", "<kernel>"), 0
+    path = code.co_filename
+    # Trim to a repo-relative path when the kernel lives under src/.
+    marker = os.sep + "src" + os.sep
+    if marker in path:
+        path = "src" + os.sep + path.split(marker, 1)[1]
+    return path.replace(os.sep, "/"), code.co_firstlineno
+
+
+@dataclass
+class _Access:
+    tid: int
+    element: int
+    kind: str       # "load" | "store"
+    atomic: bool
+
+
+def detect_races(
+    events: list[MemEvent],
+    *,
+    kernel=None,
+    kernel_name: str | None = None,
+) -> list[Finding]:
+    """Findings in one kernel run's memory-event trace.
+
+    ``kernel`` (the executed function) anchors findings to its source; a
+    bare event list from elsewhere can pass ``kernel_name`` instead.
+    """
+    path, line = _kernel_anchor(kernel) if kernel is not None \
+        else (kernel_name or "<trace>", 0)
+    name = kernel_name or getattr(kernel, "__name__", "<kernel>")
+    findings: list[Finding] = []
+
+    # -- out-of-bounds + divergence: per event ------------------------------
+    oob_reported: dict[int, int] = {}
+    divergent_stores = 0
+    for ev in events:
+        if ev.indices.size:
+            size = ev.buffer.data.size
+            bad = (ev.indices < 0) | (ev.indices >= size)
+            if bad.any():
+                count = oob_reported.get(ev.buffer.base, 0)
+                oob_reported[ev.buffer.base] = count + int(bad.sum())
+                if count < _MAX_PER_BUFFER:
+                    lane = int(np.argmax(bad))
+                    findings.append(Finding(
+                        rule="kernel-oob", severity="error", path=path,
+                        line=line, engine="race",
+                        message=(
+                            f"kernel {name!r}: thread "
+                            f"{int(ev.tids[lane])} {ev.kind}s index "
+                            f"{int(ev.indices[lane])} outside [0, {size}) "
+                            f"of buffer@0x{ev.buffer.base:x} (the "
+                            f"interpreter wraps it, hardware corrupts)"
+                        ),
+                    ))
+        if ev.kind == "store" and ev.active_lanes < ev.warp_lanes:
+            divergent_stores += 1
+    if divergent_stores:
+        findings.append(Finding(
+            rule="kernel-divergent-store", severity="warning", path=path,
+            line=line, engine="race",
+            message=(
+                f"kernel {name!r}: {divergent_stores} store(s) issued "
+                f"under a narrowed predication mask — the warp "
+                f"serializes; prefer guarding the launch geometry"
+            ),
+        ))
+
+    # -- cross-thread conflicts: per buffer element -------------------------
+    # For each element keep the set of (tid, kind, atomic) accesses; a
+    # conflict needs two distinct tids with at least one non-atomic store.
+    by_buffer: dict[int, dict[int, list[_Access]]] = {}
+    buffers: dict[int, VBuffer] = {}
+    for ev in events:
+        if not ev.indices.size:
+            continue
+        buffers[ev.buffer.base] = ev.buffer
+        elements = by_buffer.setdefault(ev.buffer.base, {})
+        size = ev.buffer.data.size
+        wrapped = np.mod(ev.indices, size)
+        for lane in range(ev.tids.size):
+            elements.setdefault(int(wrapped[lane]), []).append(
+                _Access(int(ev.tids[lane]), int(wrapped[lane]), ev.kind,
+                        ev.atomic)
+            )
+
+    for base, elements in sorted(by_buffer.items()):
+        buf = buffers[base]
+        conflicts = 0
+        for element in sorted(elements):
+            accesses = elements[element]
+            plain_writers = {a.tid for a in accesses
+                            if a.kind == "store" and not a.atomic}
+            if not plain_writers:
+                continue  # reads only, or atomics only: no race
+            others = {a.tid for a in accesses} - plain_writers
+            conflict_pair: tuple[int, int, str] | None = None
+            if len(plain_writers) > 1:
+                first, second = sorted(plain_writers)[:2]
+                conflict_pair = (first, second, "write-write")
+            elif others:
+                writer = next(iter(plain_writers))
+                other = sorted(others)[0]
+                kinds = {a.kind for a in accesses if a.tid != writer}
+                kind = "write-write" if "store" in kinds else "read-write"
+                conflict_pair = (writer, other, kind)
+            if conflict_pair is None:
+                continue
+            conflicts += 1
+            if conflicts <= _MAX_PER_BUFFER:
+                first, second, kind = conflict_pair
+                address = buf.base + element * buf.element_bytes
+                findings.append(Finding(
+                    rule="kernel-race", severity="error", path=path,
+                    line=line, engine="race",
+                    message=(
+                        f"kernel {name!r}: {kind} conflict on "
+                        f"buffer@0x{base:x} element {element} "
+                        f"(address 0x{address:x}) between threads "
+                        f"{first} and {second} without "
+                        f"cusim.atomics routing"
+                    ),
+                ))
+        if conflicts > _MAX_PER_BUFFER:
+            findings.append(Finding(
+                rule="kernel-race", severity="error", path=path, line=line,
+                engine="race",
+                message=(
+                    f"kernel {name!r}: {conflicts - _MAX_PER_BUFFER} "
+                    f"further conflicting element(s) on buffer@0x{base:x} "
+                    f"(first {_MAX_PER_BUFFER} reported)"
+                ),
+            ))
+    return findings
+
+
+@dataclass
+class KernelCheck:
+    """Result of running one kernel under the access checker."""
+
+    name: str
+    report: SimtReport
+    buffers: list[VBuffer]
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings tolerated)."""
+        return not any(f.severity == "error" for f in self.findings)
+
+
+def check_kernel(
+    kernel,
+    total_threads: int,
+    device: DeviceSpec,
+    *buffers: np.ndarray,
+    name: str | None = None,
+) -> KernelCheck:
+    """Execute ``kernel`` in lockstep and audit its memory-event trace.
+
+    The functional results stay available in ``.buffers`` (same contract
+    as :func:`~repro.cusim.simt.simt_run`), so one call both validates the
+    output and clears the kernel of races.
+    """
+    report, vbufs = simt_run(kernel, total_threads, device, *buffers)
+    findings = detect_races(report.events, kernel=kernel, kernel_name=name)
+    return KernelCheck(
+        name=name or getattr(kernel, "__name__", "<kernel>"),
+        report=report, buffers=vbufs, findings=findings,
+    )

@@ -1,0 +1,330 @@
+"""Repo-invariant AST rules — the contracts PR 1–4 left to convention.
+
+Each rule carries its rationale (tied to the architecture decision it
+protects); ``docs/static_analysis.md`` renders the same text.  Scoping is
+by path relative to the ``repro`` package root (posix separators):
+
+* ``fft-registry-bypass`` — every dense FFT must resolve through
+  :mod:`repro.core.fft_backend` (the PR-4 vendor seam).  A direct
+  ``numpy.fft``/``scipy.fft``/``pyfftw`` transform call silently ignores
+  the configured backend.  Exempt: ``core/fft_backend.py`` itself.
+* ``metric-name-family`` — metric name literals must belong to the
+  registered ``sfft.*`` / ``cusim.*`` families (the PR-1 naming contract
+  that keeps cross-backend dashboards aligned).
+* ``workspace-mutation`` — the :class:`~repro.core.workspace.PlanWorkspace`
+  derived arrays (gather matrix, tap layout) are shared between worker
+  clones; writing them outside ``core/workspace.py`` corrupts every
+  concurrent shard (the PR-4 immutability contract).
+* ``wallclock-in-core`` — ``core/`` and ``gpu/`` must not read host
+  clocks directly; timing belongs to the observability layer
+  (:func:`repro.obs.monotonic` is the sanctioned seam), so modeled time
+  and measured time cannot get conflated.
+* ``bare-valueerror`` — library entry points raise
+  :class:`~repro.errors.ParameterError` (or another
+  :class:`~repro.errors.ReproError`), never bare ``ValueError``, so
+  callers can catch one hierarchy.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from .findings import Finding, Suppressions
+
+__all__ = ["RULES", "Rule", "lint_source"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One repo invariant: identity, severity, and rationale."""
+
+    id: str
+    severity: str
+    summary: str
+    rationale: str
+
+
+RULES: dict[str, Rule] = {r.id: r for r in (
+    Rule(
+        "fft-registry-bypass", "error",
+        "direct numpy.fft/scipy.fft/pyfftw transform call",
+        "Dense FFTs must dispatch through repro.core.fft_backend so the "
+        "vendor seam (numpy/scipy/pyfftw — the paper's cuFFT/FFTW swap) "
+        "stays a single point; a direct call ignores the configured "
+        "backend.",
+    ),
+    Rule(
+        "metric-name-family", "error",
+        "metric name outside the sfft.*/cusim.* families",
+        "The observability layer's naming contract: algorithm metrics are "
+        "sfft.*, device-model metrics are cusim.*, dot-separated and "
+        "lowercase, so cross-backend dashboards line up.",
+    ),
+    Rule(
+        "workspace-mutation", "error",
+        "write to a frozen PlanWorkspace derived array",
+        "Worker clones share the gather/tap matrices by reference; a "
+        "write outside core/workspace.py corrupts every concurrent "
+        "shard.",
+    ),
+    Rule(
+        "wallclock-in-core", "error",
+        "host clock read inside core/ or gpu/",
+        "core/ and gpu/ produce modeled or algorithmic results; wall "
+        "timing belongs to repro.obs (use repro.obs.monotonic), keeping "
+        "measured and modeled time separable.",
+    ),
+    Rule(
+        "bare-valueerror", "error",
+        "raise ValueError instead of a ReproError subclass",
+        "Entry points raise ParameterError/LaunchConfigError (both "
+        "ValueError-compatible) so callers catch one hierarchy.",
+    ),
+)}
+
+#: FFT transform attribute names that constitute a registry bypass.
+_TRANSFORMS = frozenset({
+    "fft", "ifft", "rfft", "irfft", "fft2", "ifft2", "fftn", "ifftn",
+    "rfftn", "irfftn", "hfft", "ihfft",
+})
+#: Module roots whose ``.fft``/``.fftpack`` namespaces are vendor FFTs.
+_FFT_ROOTS = frozenset({"np", "numpy", "scipy", "pyfftw"})
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+_METRIC_NAME_RE = re.compile(
+    r"^(sfft|cusim)\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
+)
+#: PlanWorkspace derived arrays shared between clones (see workspace.py).
+_FROZEN_WORKSPACE_ATTRS = frozenset({
+    "gather", "taps_flat", "taps_matrix",
+    "_gather", "_taps_flat", "_taps_matrix",
+})
+#: In-place ndarray methods that mutate the receiver.
+_MUTATING_METHODS = frozenset({"fill", "sort", "put", "partition", "resize"})
+_CLOCK_FUNCS = frozenset({"time", "perf_counter", "monotonic",
+                          "process_time", "thread_time"})
+
+#: Per-rule path exemptions (exact file, or a trailing-slash prefix).
+_EXEMPT = {
+    "fft-registry-bypass": ("core/fft_backend.py",),
+    "workspace-mutation": ("core/workspace.py",),
+}
+#: wallclock-in-core only *applies* to these subtrees.
+_WALLCLOCK_SCOPE = ("core/", "gpu/")
+
+
+def _exempt(rule_id: str, relpath: str) -> bool:
+    for pattern in _EXEMPT.get(rule_id, ()):
+        if relpath == pattern or (pattern.endswith("/")
+                                  and relpath.startswith(pattern)):
+            return True
+    return False
+
+
+def _attr_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, relpath: str, path: str):
+        self.relpath = relpath
+        self.path = path
+        #: ``(finding, end_lineno)`` — the end line widens suppression
+        #: matching to every physical line of a wrapped statement.
+        self.raw: list[tuple[Finding, int]] = []
+        self._time_aliases: set[str] = set()       # `import time as t`
+        self._clock_names: set[str] = set()        # `from time import ...`
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if _exempt(rule_id, self.relpath):
+            return
+        rule = RULES[rule_id]
+        line = getattr(node, "lineno", 0)
+        self.raw.append((
+            Finding(
+                rule=rule.id, severity=rule.severity, path=self.path,
+                line=line, col=getattr(node, "col_offset", 0),
+                message=message,
+            ),
+            getattr(node, "end_lineno", None) or line,
+        ))
+
+    # -- imports feed the wall-clock rule -----------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or "time")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCS:
+                    self._clock_names.add(alias.asname or alias.name)
+        if node.module and node.level == 0:
+            root = node.module.split(".")[0]
+            tail = node.module.split(".")[-1]
+            if root in _FFT_ROOTS and tail in ("fft", "fftpack"):
+                bad = [a.name for a in node.names
+                       if a.name in _TRANSFORMS or a.name == "*"]
+                if bad:
+                    self._emit(
+                        "fft-registry-bypass", node,
+                        f"import of {', '.join(bad)} from "
+                        f"{node.module} bypasses the FFT backend "
+                        f"registry (repro.core.fft_backend)",
+                    )
+        self.generic_visit(node)
+
+    # -- calls: fft bypass, metric names, clocks, mutation methods ----------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain:
+            self._check_fft(node, chain)
+            self._check_metric(node, chain)
+            self._check_clock(node, chain)
+            self._check_mutating_method(node, chain)
+        self.generic_visit(node)
+
+    def _check_fft(self, node: ast.Call, chain: list[str]) -> None:
+        if len(chain) < 2 or chain[-1] not in _TRANSFORMS:
+            return
+        root = chain[0]
+        if root == "pyfftw" or (
+            root in _FFT_ROOTS and chain[-2] in ("fft", "fftpack")
+        ):
+            self._emit(
+                "fft-registry-bypass", node,
+                f"direct {'.'.join(chain)} call — route through "
+                f"repro.core.fft_backend.get_backend() (or "
+                f"bucket_fft) so the backend stays swappable",
+            )
+
+    def _check_metric(self, node: ast.Call, chain: list[str]) -> None:
+        if chain[-1] not in _METRIC_METHODS or not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not _METRIC_NAME_RE.match(arg.value):
+                self._emit(
+                    "metric-name-family", arg,
+                    f"metric name {arg.value!r} is outside the "
+                    f"registered sfft.*/cusim.* families "
+                    f"(lowercase, dot-separated)",
+                )
+
+    def _check_clock(self, node: ast.Call, chain: list[str]) -> None:
+        if not self.relpath.startswith(_WALLCLOCK_SCOPE):
+            return
+        offending = None
+        if (len(chain) == 2 and chain[0] in self._time_aliases
+                and chain[1] in _CLOCK_FUNCS):
+            offending = ".".join(chain)
+        elif len(chain) == 1 and chain[0] in self._clock_names:
+            offending = chain[0]
+        if offending:
+            self._emit(
+                "wallclock-in-core", node,
+                f"{offending}() read inside {self.relpath} — use "
+                f"repro.obs.monotonic() so wall timing stays an "
+                f"observability concern",
+            )
+
+    def _check_mutating_method(self, node: ast.Call, chain: list[str]) -> None:
+        if len(chain) >= 3 and chain[-1] in _MUTATING_METHODS \
+                and chain[-2] in _FROZEN_WORKSPACE_ATTRS:
+            self._emit(
+                "workspace-mutation", node,
+                f"in-place {chain[-1]}() on shared workspace array "
+                f".{chain[-2]} — derived arrays are shared across "
+                f"worker clones",
+            )
+
+    # -- stores: workspace mutation -----------------------------------------
+
+    def _frozen_target(self, target: ast.AST) -> str | None:
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) \
+                and node.attr in _FROZEN_WORKSPACE_ATTRS \
+                and isinstance(node.value, (ast.Name, ast.Attribute)):
+            return node.attr
+        return None
+
+    def _check_store_targets(self, node: ast.AST, targets) -> None:
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                self._check_store_targets(node, target.elts)
+                continue
+            attr = self._frozen_target(target)
+            if attr is not None:
+                self._emit(
+                    "workspace-mutation", node,
+                    f"write to shared workspace array .{attr} — only "
+                    f"core/workspace.py may build or replace the "
+                    f"derived arrays (clones share them by reference)",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_store_targets(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_targets(node, [node.target])
+        self.generic_visit(node)
+
+    # -- raises: error hierarchy --------------------------------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call):
+            chain = _attr_chain(exc.func)
+            name = chain[-1] if chain else None
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name == "ValueError":
+            self._emit(
+                "bare-valueerror", node,
+                "raise ParameterError (or another ReproError subclass, "
+                "all ValueError-compatible) instead of bare ValueError",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, *, path: str, relpath: str | None = None
+) -> list[Finding]:
+    """AST findings for one file, suppressions already applied.
+
+    ``path`` is the anchor written into findings (repo-relative, posix);
+    ``relpath`` is the package-root-relative path used for rule scoping
+    (defaults to ``path`` with any leading ``src/repro/`` stripped).
+    """
+    if relpath is None:
+        relpath = path
+        for prefix in ("src/repro/", "repro/"):
+            if relpath.startswith(prefix):
+                relpath = relpath[len(prefix):]
+                break
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(relpath, path)
+    visitor.visit(tree)
+    suppressions = Suppressions(source)
+    kept = []
+    for finding, end_line in visitor.raw:
+        if not suppressions.covers(finding.rule, finding.line, end_line):
+            kept.append(finding)
+    return kept
