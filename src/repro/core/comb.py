@@ -28,6 +28,7 @@ from ..utils.modmath import is_power_of_two
 from ..utils.rng import RngLike, ensure_rng
 from ..utils.validation import as_complex_signal
 from .cutoff import select_topk
+from .subsampled import bucket_fft
 
 __all__ = ["comb_spectrum", "comb_approved_residues"]
 
@@ -47,7 +48,7 @@ def comb_spectrum(x: np.ndarray, W: int, tau: int) -> np.ndarray:
         raise ParameterError(f"tau={tau} out of range [0, {n})")
     d = n // W
     idx = (tau + np.arange(W, dtype=np.int64) * d) % n
-    return np.fft.fft(x[idx])
+    return bucket_fft(x[idx])
 
 
 def comb_approved_residues(

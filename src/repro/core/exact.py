@@ -46,6 +46,7 @@ from ..utils.validation import as_complex_signal, check_positive_int
 from .binning import bin_vectorized
 from .permutation import Permutation, random_permutation
 from .sfft import SparseFFTResult
+from .subsampled import bucket_fft
 
 __all__ = ["ExactSfftStats", "sfft_exact"]
 
@@ -149,8 +150,8 @@ def sfft_exact(
             n=n, sigma=perm.sigma, sigma_inv=perm.sigma_inv,
             tau=(perm.tau + perm.sigma) % n,
         )
-        u = np.fft.fft(bin_vectorized(x, filt, B, perm))
-        v = np.fft.fft(bin_vectorized(x, filt, B, shifted))
+        u = bucket_fft(bin_vectorized(x, filt, B, perm))
+        v = bucket_fft(bin_vectorized(x, filt, B, shifted))
         stats.rounds += 1
         stats.samples_touched += 2 * filt.width
 
@@ -200,7 +201,7 @@ def sfft_exact(
     if strict:
         # Residual check on a fresh permutation.
         perm = random_permutation(n, rng)
-        u = np.fft.fft(bin_vectorized(x, filt, B, perm))
+        u = bucket_fft(bin_vectorized(x, filt, B, perm))
         v = u.copy()
         _subtract_found(u, v, found, perm, filt.freq, n, B)
         if np.abs(u).max() > 100 * rel_tol * scale_ref / n:
@@ -223,7 +224,7 @@ def sfft_exact(
             polish_perms = [random_permutation(n, rng) for _ in range(3)]
             rows = np.empty((len(polish_perms), B), dtype=np.complex128)
             for r, perm in enumerate(polish_perms):
-                rows[r] = np.fft.fft(bin_vectorized(x, filt, B, perm))
+                rows[r] = bucket_fft(bin_vectorized(x, filt, B, perm))
                 dummy = rows[r].copy()
                 _subtract_found(rows[r], dummy, found, perm, filt.freq, n, B)
             stats.samples_touched += len(polish_perms) * filt.width

@@ -2,8 +2,9 @@
 
 The paper's step 3 is "call the vendor FFT on the buckets": cuFFT on the
 GPU, FFTW on the CPU baseline.  This module is the CPU-side analog of that
-vendor seam: a registry of named backends all exposing one operation —
-``fft(a, axis=-1, workers=1)`` over ``complex128`` — so the bucket FFT
+vendor seam: a registry of named backends all exposing one pair of
+operations — ``fft``/``ifft`` with ``(a, axis=-1, workers=1)`` over
+``complex128`` — so the bucket FFT
 (:func:`repro.core.subsampled.bucket_fft`), the execution workspace, the
 sharded executor (:mod:`repro.core.executor`), and the simulated-FFTW
 comparator (:mod:`repro.cpu.fftw`) all resolve their transform through the
@@ -83,6 +84,10 @@ class FftBackend:
         """
         raise NotImplementedError
 
+    def ifft(self, a: np.ndarray, *, axis: int = -1, workers: int = 1) -> np.ndarray:
+        """Inverse complex DFT of ``a`` along ``axis`` (same contract)."""
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<FftBackend {self.name}>"
 
@@ -92,8 +97,11 @@ class _NumpyBackend(FftBackend):
 
     name = "numpy"
 
-    def fft(self, a, *, axis=-1, workers=1):
+    def fft(self, a: np.ndarray, *, axis: int = -1, workers: int = 1) -> np.ndarray:
         return np.fft.fft(a, axis=axis)
+
+    def ifft(self, a: np.ndarray, *, axis: int = -1, workers: int = 1) -> np.ndarray:
+        return np.fft.ifft(a, axis=axis)
 
 
 class _ScipyBackend(FftBackend):
@@ -101,13 +109,17 @@ class _ScipyBackend(FftBackend):
 
     name = "scipy"
 
-    def __init__(self):
+    def __init__(self) -> None:
         import scipy.fft as _sfft  # raises ImportError when absent
 
         self._fft = _sfft.fft
+        self._ifft = _sfft.ifft
 
-    def fft(self, a, *, axis=-1, workers=1):
+    def fft(self, a: np.ndarray, *, axis: int = -1, workers: int = 1) -> np.ndarray:
         return self._fft(a, axis=axis, workers=max(1, int(workers)))
+
+    def ifft(self, a: np.ndarray, *, axis: int = -1, workers: int = 1) -> np.ndarray:
+        return self._ifft(a, axis=axis, workers=max(1, int(workers)))
 
 
 class _PyfftwBackend(FftBackend):
@@ -115,7 +127,7 @@ class _PyfftwBackend(FftBackend):
 
     name = "pyfftw"
 
-    def __init__(self):
+    def __init__(self) -> None:
         import pyfftw  # raises ImportError when absent
         import pyfftw.interfaces.numpy_fft as _fftw_fft
 
@@ -125,9 +137,13 @@ class _PyfftwBackend(FftBackend):
         pyfftw.interfaces.cache.enable()
         pyfftw.interfaces.cache.set_keepalive_time(60.0)
         self._fft = _fftw_fft.fft
+        self._ifft = _fftw_fft.ifft
 
-    def fft(self, a, *, axis=-1, workers=1):
+    def fft(self, a: np.ndarray, *, axis: int = -1, workers: int = 1) -> np.ndarray:
         return self._fft(a, axis=axis, threads=max(1, int(workers)))
+
+    def ifft(self, a: np.ndarray, *, axis: int = -1, workers: int = 1) -> np.ndarray:
+        return self._ifft(a, axis=axis, threads=max(1, int(workers)))
 
 
 _lock = threading.Lock()

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .core.dense import dense_topk
+from .core.fft_backend import get_backend
 from .core.sfft import SparseFFTResult, sfft
 from .cpu.cpuspec import SANDY_BRIDGE_E5_2640, CpuSpec
 from .cpu.fftw import FftwPlan
@@ -117,7 +118,7 @@ def auto_sfft(
     if decision.cpu_winner == "sparse":
         result = sfft(x, k, seed=seed, **overrides)
     else:
-        locs, vals = dense_topk(np.fft.fft(x), k)
+        locs, vals = dense_topk(get_backend().fft(x), k)
         result = SparseFFTResult(
             n=x.size,
             locations=locs,

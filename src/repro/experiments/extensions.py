@@ -24,6 +24,7 @@ import numpy as np
 
 from ..analysis.accuracy import score_result
 from ..core.comb import comb_approved_residues
+from ..core.dense import dense_fft
 from ..core.plan import make_plan
 from ..core.sfft import sfft
 from ..core.variants import sfft_batch
@@ -275,7 +276,7 @@ def run_ext_offgrid(
                 1 for f in freqs if np.min(np.abs(found - round(f))) <= 1
             )
             recalls.append(hit / k)
-            spec_energy = np.abs(np.fft.fft(x)) ** 2
+            spec_energy = np.abs(dense_fft(x)) ** 2
             captured.append(
                 float(
                     np.abs(res.values).__pow__(2).sum() / spec_energy.sum()

@@ -21,6 +21,7 @@ import math
 
 import numpy as np
 
+from ..core.fft_backend import get_backend
 from ..errors import FilterDesignError
 
 __all__ = ["chebyshev_support", "dolph_chebyshev_window", "chebyshev_poly"]
@@ -76,7 +77,7 @@ def dolph_chebyshev_window(w: int, tolerance: float) -> np.ndarray:
     beta = math.cosh(math.acosh(1.0 / tolerance) / m)
     j = np.arange(w, dtype=np.float64)
     spectrum = chebyshev_poly(m, beta * np.cos(math.pi * j / w))
-    taps = np.fft.ifft(spectrum)
+    taps = get_backend().ifft(spectrum)
     # Centre the (real, even) impulse response at (w-1)/2.
     taps = np.roll(taps, (w - 1) // 2)
     taps = taps.real

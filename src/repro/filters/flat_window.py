@@ -27,6 +27,7 @@ import math
 
 import numpy as np
 
+from ..core.fft_backend import get_backend
 from ..errors import FilterDesignError
 from .base import FlatFilter
 from .dolph_chebyshev import chebyshev_support, dolph_chebyshev_window
@@ -151,7 +152,7 @@ def make_flat_window(
     # array estimation divides by, so it must match `taps` bit-for-bit.
     padded = np.zeros(n, dtype=np.complex128)
     padded[: taps.size] = taps
-    freq = np.fft.fft(padded)
+    freq = get_backend().fft(padded)
     peak = np.abs(freq).max()
     if peak <= 0:
         raise FilterDesignError("flat window has zero frequency response")
