@@ -43,14 +43,13 @@ elapsed wall — values above 1.0 mean stages genuinely overlapped).
 from __future__ import annotations
 
 import queue
-import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 
 import numpy as np
 
 from ..errors import ParameterError
-from ..obs import MetricsRegistry, Tracer, global_registry
+from ..obs import MetricsRegistry, Tracer, global_registry, monotonic
 from ..utils.rng import RngLike
 from .batch import as_signal_stack, comb_masks_for_stack, run_stack_pipeline
 from .fft_backend import get_backend
@@ -157,20 +156,20 @@ class ShardedExecutor:
         registry = metrics if metrics is not None else global_registry()
         bounds = self.shard_bounds(S)
         nw = min(self.workers, len(bounds))
-        run_t0 = time.perf_counter()
+        run_t0 = monotonic()
 
         masks = None
         if comb_width is not None:
             # Serial, in stack order: Generator seeds must draw the same
             # permutation sequence the serial engine would.
-            t0 = time.perf_counter()
+            t0 = monotonic()
             masks = comb_masks_for_stack(
                 X, plan, comb_width, comb_loops, seed
             )
             if tracer is not None:
                 tracer.add_span(
                     "comb", start_s=t0 - run_t0,
-                    duration_s=time.perf_counter() - t0,
+                    duration_s=monotonic() - t0,
                     category="executor", track=EXECUTOR_TRACK,
                     attrs={"W": comb_width, "loops": comb_loops},
                 )
@@ -188,18 +187,18 @@ class ShardedExecutor:
 
         @contextmanager
         def _stage_span(name: str, track: str, attrs: dict):
-            t0 = time.perf_counter()
+            t0 = monotonic()
             try:
                 yield
             finally:
                 tracer.add_span(
                     name, start_s=max(0.0, t0 - run_t0),
-                    duration_s=time.perf_counter() - t0,
+                    duration_s=monotonic() - t0,
                     category="executor", track=track, depth=1, attrs=attrs,
                 )
 
         def _task(idx: int, lo: int, hi: int, submit_t: float):
-            t_pick = time.perf_counter()
+            t_pick = monotonic()
             w, ws = pool.get()
             track = f"worker{w}"
             stage = None
@@ -219,7 +218,7 @@ class ShardedExecutor:
                 )
             finally:
                 pool.put((w, ws))
-            t_end = time.perf_counter()
+            t_end = monotonic()
             if tracer is not None:
                 tracer.add_span(
                     f"shard{idx}", start_s=max(0.0, t_pick - run_t0),
@@ -233,14 +232,14 @@ class ShardedExecutor:
             max_workers=nw, thread_name_prefix="sfft-exec"
         ) as ex:
             futures = [
-                ex.submit(_task, idx, lo, hi, time.perf_counter())
+                ex.submit(_task, idx, lo, hi, monotonic())
                 for idx, (lo, hi) in enumerate(bounds)
             ]
             # .result() re-raises the first shard failure (e.g. a strict
             # RecoveryError naming the global signal index).
             shard_outs = [f.result() for f in futures]
 
-        wall = time.perf_counter() - run_t0
+        wall = monotonic() - run_t0
         waits = [wait for _, wait, _ in shard_outs]
         busys = [busy for _, _, busy in shard_outs]
         registry.gauge("sfft.executor.workers").set(nw)

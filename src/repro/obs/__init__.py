@@ -54,10 +54,11 @@ from .report import (
     self_time_rows,
     sparkline,
 )
-from .trace import CPU_TRACK, Span, Tracer
+from .trace import CPU_TRACK, Span, Tracer, monotonic
 
 __all__ = [
     "CPU_TRACK",
+    "monotonic",
     "Span",
     "Tracer",
     "Counter",

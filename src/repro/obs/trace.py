@@ -24,14 +24,25 @@ import threading
 import time as _time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from ..errors import ParameterError
 
-__all__ = ["Span", "Tracer", "CPU_TRACK"]
+__all__ = ["Span", "Tracer", "CPU_TRACK", "monotonic"]
 
 #: Track label for live (host-clocked) spans.
 CPU_TRACK = "cpu"
+
+
+def monotonic() -> float:
+    """The sanctioned wall-clock for code outside the observability layer.
+
+    ``core/`` and ``gpu/`` are forbidden from reading host clocks directly
+    (reprolint rule ``wallclock-in-core``): modeled time and measured time
+    must stay separable, and every wall reading should be attributable to
+    this one seam.  Same timebase as live spans (``time.perf_counter``).
+    """
+    return _time.perf_counter()
 
 
 @dataclass(frozen=True)
