@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from ..errors import ParameterError
 from .metrics import MetricsRegistry
 from .trace import Tracer
 
@@ -82,11 +83,13 @@ def make_run_record(
     return record
 
 
-def write_jsonl(path, record: dict) -> None:
+def write_jsonl(path: str, record: dict) -> None:
     """Append one run record to a ``.jsonl`` file (one JSON doc per line)."""
     problems = validate_run_record(record)
     if problems:
-        raise ValueError(f"refusing to write invalid run record: {problems}")
+        raise ParameterError(
+            f"refusing to write invalid run record: {problems}"
+        )
     with open(path, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(record, separators=(",", ":")) + "\n")
 

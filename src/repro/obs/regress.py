@@ -34,6 +34,8 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
+from ..errors import ParameterError
+
 __all__ = [
     "BASELINE_SCHEMA",
     "TRAJECTORY_SCHEMA",
@@ -353,7 +355,7 @@ def append_trajectory(
             doc = json.load(fh)
         problems = validate_trajectory(doc)
         if problems:
-            raise ValueError(
+            raise ParameterError(
                 f"refusing to append to invalid trajectory {path}: {problems}"
             )
     else:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from ..errors import ParameterError
+
 __all__ = ["format_table", "format_seconds", "format_ratio"]
 
 
@@ -47,7 +49,9 @@ def format_table(
     cols = len(headers)
     for r in str_rows:
         if len(r) != cols:
-            raise ValueError(f"row has {len(r)} cells, expected {cols}: {r}")
+            raise ParameterError(
+                f"row has {len(r)} cells, expected {cols}: {r}"
+            )
     widths = [len(h) for h in headers]
     for r in str_rows:
         for i, c in enumerate(r):
