@@ -179,7 +179,8 @@ def make_gps_correlation(
     # the code delay.  We hand back the *product* so the example can
     # sparse-transform it.
     derotated = rx * np.conj(doppler)
-    product = np.fft.fft(derotated) * np.conj(np.fft.fft(code))
+    # Workload synthesis is ground truth — pinned to the numpy oracle.
+    product = np.fft.fft(derotated) * np.conj(np.fft.fft(code))  # reprolint: ignore[fft-registry-bypass]
     return product, code, code_delay
 
 
@@ -213,7 +214,7 @@ def make_seismic_reflectivity(
     f = np.fft.fftfreq(n) * n
     f0 = float(wavelet_peak_bin)
     wavelet_spec = (f / f0) ** 2 * np.exp(1.0 - (f / f0) ** 2)
-    trace = np.fft.ifft(np.fft.fft(reflectivity) * wavelet_spec).real
+    trace = np.fft.ifft(np.fft.fft(reflectivity) * wavelet_spec).real  # reprolint: ignore[fft-registry-bypass]
     if snr is not None:
         noisy, _ = add_awgn(trace.astype(np.complex128), snr, seed=rng)
         trace = noisy.real
