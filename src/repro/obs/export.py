@@ -59,7 +59,7 @@ def make_run_record(
     params: dict | None = None,
     tracer: Tracer | None = None,
     registry: MetricsRegistry | None = None,
-    **extra,
+    **extra: Any,
 ) -> dict:
     """Assemble a schema-valid run record from the run's observability."""
     record: dict[str, Any] = {

@@ -18,7 +18,7 @@ units spelled in the trailing segment where ambiguous (``_s``, ``_bytes``).
 from __future__ import annotations
 
 import threading
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, lock: threading.Lock):
+    def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
         self._lock = lock
         self.value = 0.0
@@ -61,7 +61,7 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, lock: threading.Lock):
+    def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
         self._lock = lock
         self.value: float | None = None
@@ -81,7 +81,7 @@ class Histogram:
 
     kind = "histogram"
 
-    def __init__(self, name: str, lock: threading.Lock):
+    def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
         self._lock = lock
         self.samples: list[float] = []
@@ -145,7 +145,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls: type) -> Counter | Gauge | Histogram:
         with self._lock:
             inst = self._instruments.get(name)
             if inst is None:
@@ -202,7 +202,7 @@ def emit_sfft_metrics(
     selected_sizes: list[int],
     hits: np.ndarray,
     votes: np.ndarray,
-    permutations,
+    permutations: Sequence,
 ) -> None:
     """Publish the shared ``sfft.*`` metrics one transform produces.
 

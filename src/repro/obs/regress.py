@@ -339,7 +339,7 @@ def make_trajectory_points(
 
 
 def append_trajectory(
-    path, records: Iterable[Mapping], *, session: str | None = None
+    path: str, records: Iterable[Mapping], *, session: str | None = None
 ) -> int:
     """Append points for ``records`` to the trajectory file at ``path``.
 

@@ -77,7 +77,7 @@ class Tracer:
     tests.
     """
 
-    def __init__(self, clock=_time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = _time.perf_counter) -> None:
         self._clock = clock
         self._origin = clock()
         self._lock = threading.Lock()
@@ -96,7 +96,7 @@ class Tracer:
         return getattr(self._local, "depth", 0)
 
     @contextmanager
-    def span(self, name: str, *, category: str = "step", **attrs) -> Iterator[None]:
+    def span(self, name: str, *, category: str = "step", **attrs: Any) -> Iterator[None]:
         """Clock a live span around the ``with`` body (nestable)."""
         depth = self._depth()
         self._local.depth = depth + 1
@@ -145,7 +145,7 @@ class Tracer:
             self._spans.append(sp)
         return sp
 
-    def add_timeline(self, report, *, category: str = "cusim") -> int:
+    def add_timeline(self, report: Any, *, category: str = "cusim") -> int:
         """Ingest a simulated :class:`~repro.cusim.timeline.TimelineReport`.
 
         Each operation record becomes a synthetic span on a per-stream
@@ -238,7 +238,7 @@ class Tracer:
             )
         return events
 
-    def export_chrome_trace(self, path=None) -> str:
+    def export_chrome_trace(self, path: str | None = None) -> str:
         """Serialize the trace as Chrome/Perfetto-loadable JSON.
 
         Returns the JSON text; when ``path`` is given the document is also
