@@ -9,11 +9,17 @@ With no paths, scans the repository root for ``BENCH_*.json`` files and
 ``*.jsonl`` run-record files.  Validation rules:
 
 * every file must parse as JSON (``.jsonl``: one JSON document per line);
-* ``.jsonl`` lines must be valid ``repro.run/1`` records (see
-  ``repro.obs.validate_run_record`` — one schema, shared with the library
-  so CI and the writer cannot drift); records named ``bench-executor``
-  additionally must carry the stack geometry and positive
-  ``wall_s_workers_<N>`` walls (the executor scaling curve);
+* ``.jsonl`` lines are dispatched on their ``schema`` field: lines
+  declaring ``"repro.lint/1"`` are validated as linter findings
+  (``repro.analysis.staticcheck.validate_lint_record``, the output of
+  ``python -m repro lint --json``); all other lines must be valid
+  ``repro.run/1`` records (see ``repro.obs.validate_run_record`` — one
+  schema, shared with the library so CI and the writer cannot drift);
+  records named ``bench-executor`` additionally must carry the stack
+  geometry and positive ``wall_s_workers_<N>`` walls (the executor
+  scaling curve);
+* ``LINT_BASELINE.json`` (the static-analysis gate's artifact) must be a
+  valid ``repro.lintbase/1`` fingerprint snapshot;
 * ``BENCH_*.json`` declaring ``"schema": "repro.baseline/1"`` or
   ``"repro.trajectory/1"`` (the regression-gate artifacts
   ``BENCH_BASELINE.json`` / ``BENCH_TRAJECTORY.json``) are validated with
@@ -37,6 +43,10 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(_HERE)
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
+from repro.analysis.staticcheck import (  # noqa: E402
+    LINT_SCHEMA,
+    validate_lint_record,
+)
 from repro.obs import (  # noqa: E402
     BASELINE_SCHEMA,
     TRAJECTORY_SCHEMA,
@@ -44,6 +54,8 @@ from repro.obs import (  # noqa: E402
     validate_run_record,
     validate_trajectory,
 )
+
+LINT_BASELINE_SCHEMA = "repro.lintbase/1"
 
 
 def check_executor_record(record: dict) -> list[str]:
@@ -97,11 +109,43 @@ def check_jsonl(path: str) -> list[str]:
             except json.JSONDecodeError as exc:
                 problems.append(f"{path}:{lineno}: not JSON ({exc})")
                 continue
+            if isinstance(record, dict) and record.get("schema") == LINT_SCHEMA:
+                for issue in validate_lint_record(record):
+                    problems.append(f"{path}:{lineno}: {issue}")
+                continue
             for issue in validate_run_record(record):
                 problems.append(f"{path}:{lineno}: {issue}")
             if isinstance(record, dict) and record.get("name") == "bench-executor":
                 for issue in check_executor_record(record):
                     problems.append(f"{path}:{lineno}: {issue}")
+    return problems
+
+
+def check_lint_baseline(path: str) -> list[str]:
+    """Problems found in a ``repro.lintbase/1`` fingerprint snapshot."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not JSON ({exc})"]
+    if not isinstance(doc, dict):
+        return [f"{path}: baseline must be a JSON object"]
+    problems: list[str] = []
+    if doc.get("schema") != LINT_BASELINE_SCHEMA:
+        problems.append(
+            f"{path}: schema must be {LINT_BASELINE_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    fps = doc.get("fingerprints")
+    if not isinstance(fps, list):
+        problems.append(f"{path}: fingerprints must be an array")
+    else:
+        for i, fp in enumerate(fps):
+            if not isinstance(fp, str) or fp.count("::") < 2:
+                problems.append(
+                    f"{path}: fingerprints[{i}] must be a "
+                    "'rule::path::message' string"
+                )
     return problems
 
 
@@ -141,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     paths = args or sorted(
         glob.glob(os.path.join(_ROOT, "BENCH_*.json"))
+        + glob.glob(os.path.join(_ROOT, "LINT_BASELINE.json"))
         + glob.glob(os.path.join(_ROOT, "*.jsonl"))
     )
     if not paths:
@@ -153,6 +198,8 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         if path.endswith(".jsonl"):
             problems += check_jsonl(path)
+        elif os.path.basename(path) == "LINT_BASELINE.json":
+            problems += check_lint_baseline(path)
         else:
             problems += check_bench_json(path)
     for problem in problems:
