@@ -1,0 +1,133 @@
+"""``scripts/lint_gate.py``: recording mode, gating, and baseline schema.
+
+Mirrors the bench_gate contract: no baseline → record and exit 0; with a
+baseline, only *new* fingerprints fail, fixed ones are reported, and the
+machine-readable verdict validates.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_script(name):
+    path = _ROOT / "scripts" / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"),
+                                                  path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _mini_repo(tmp_path, source):
+    """A throwaway repo root whose src/repro holds one file."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(source)
+    return tmp_path
+
+
+class TestLintGate:
+    def test_no_baseline_records_and_exits_zero(self, tmp_path, capsys):
+        gate = _load_script("lint_gate.py")
+        root = _mini_repo(tmp_path, 'raise ValueError("x")\n')
+        baseline = tmp_path / "LINT_BASELINE.json"
+        assert gate.main(["--root", str(root), "--no-kernels",
+                          "--baseline", str(baseline)]) == 0
+        assert "recording" in capsys.readouterr().out
+        doc = json.loads(baseline.read_text())
+        assert doc["schema"] == "repro.lintbase/1"
+        assert len(doc["fingerprints"]) == 1
+        assert doc["fingerprints"][0].startswith("bare-valueerror::")
+
+    def test_baselined_finding_passes_gate(self, tmp_path, capsys):
+        gate = _load_script("lint_gate.py")
+        root = _mini_repo(tmp_path, 'raise ValueError("x")\n')
+        baseline = tmp_path / "LINT_BASELINE.json"
+        args = ["--root", str(root), "--no-kernels",
+                "--baseline", str(baseline)]
+        assert gate.main(args) == 0           # record
+        assert gate.main(args) == 0           # gate: same debt, green
+        assert "all baselined" in capsys.readouterr().out
+
+    def test_new_finding_fails_with_anchor(self, tmp_path, capsys):
+        gate = _load_script("lint_gate.py")
+        root = _mini_repo(tmp_path, 'raise ValueError("x")\n')
+        baseline = tmp_path / "LINT_BASELINE.json"
+        args = ["--root", str(root), "--no-kernels",
+                "--baseline", str(baseline)]
+        assert gate.main(args) == 0
+        mod = root / "src" / "repro" / "mod.py"
+        mod.write_text(mod.read_text()
+                       + "import numpy as np\ny = np.fft.fft(x)\n")
+        assert gate.main(args) == 1
+        err = capsys.readouterr().err
+        assert "NEW" in err and "src/repro/mod.py:3" in err
+        assert "[fft-registry-bypass]" in err
+
+    def test_fixed_finding_is_reported_not_failed(self, tmp_path, capsys):
+        gate = _load_script("lint_gate.py")
+        root = _mini_repo(tmp_path, 'raise ValueError("x")\n')
+        baseline = tmp_path / "LINT_BASELINE.json"
+        args = ["--root", str(root), "--no-kernels",
+                "--baseline", str(baseline)]
+        assert gate.main(args) == 0
+        (root / "src" / "repro" / "mod.py").write_text("x = 1\n")
+        assert gate.main(args) == 0
+        out = capsys.readouterr().out
+        assert "fixed" in out and "1 fixed" in out
+
+    def test_record_flag_resnapshots(self, tmp_path, capsys):
+        gate = _load_script("lint_gate.py")
+        root = _mini_repo(tmp_path, 'raise ValueError("x")\n')
+        baseline = tmp_path / "LINT_BASELINE.json"
+        args = ["--root", str(root), "--no-kernels",
+                "--baseline", str(baseline)]
+        assert gate.main(args) == 0
+        (root / "src" / "repro" / "mod.py").write_text("x = 1\n")
+        assert gate.main(args + ["--record"]) == 0
+        doc = json.loads(baseline.read_text())
+        assert doc["fingerprints"] == []
+
+    def test_json_verdict_shape(self, tmp_path, capsys):
+        gate = _load_script("lint_gate.py")
+        root = _mini_repo(tmp_path, "x = 1\n")
+        baseline = tmp_path / "LINT_BASELINE.json"
+        args = ["--root", str(root), "--no-kernels",
+                "--baseline", str(baseline), "--json"]
+        assert gate.main(args) == 0
+        capsys.readouterr()
+        assert gate.main(args) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.lintgate/1"
+        assert doc["status"] == "ok"
+        assert doc["new"] == [] and doc["fixed"] == []
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys):
+        gate = _load_script("lint_gate.py")
+        root = _mini_repo(tmp_path, "x = 1\n")
+        baseline = tmp_path / "LINT_BASELINE.json"
+        baseline.write_text('{"schema": "wrong"}')
+        assert gate.main(["--root", str(root), "--no-kernels",
+                          "--baseline", str(baseline)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_validate_lint_baseline(self):
+        gate = _load_script("lint_gate.py")
+        good = {"schema": "repro.lintbase/1",
+                "fingerprints": ["r::p::m"]}
+        assert gate.validate_lint_baseline(good) == []
+        assert gate.validate_lint_baseline([]) != []
+        assert gate.validate_lint_baseline(
+            {"schema": "repro.lintbase/1", "fingerprints": ["nope"]}
+        ) != []
+
+    def test_committed_baseline_gates_real_repo(self, capsys):
+        # The repo-tip contract: the committed baseline is empty and the
+        # tree is clean, so the real gate is green.
+        gate = _load_script("lint_gate.py")
+        assert gate.main(["--baseline",
+                          str(_ROOT / "LINT_BASELINE.json")]) == 0
+        assert "ok" in capsys.readouterr().out

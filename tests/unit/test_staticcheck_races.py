@@ -1,0 +1,235 @@
+"""Kernel access checker: the race detector and the symbolic analyzer.
+
+The contract under test is Section IV-C's: the conventional histogram
+races unless every update is atomic, while Algorithm 2's loop-partition
+binner is collision-free with *no* atomics — and the detector must be
+able to tell the two apart from the interpreter's memory-event trace,
+with the symbolic engine extending the binner's clearance to every
+thread count.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.analysis.staticcheck import (
+    AffineIndex,
+    binner_store_index,
+    check_kernel,
+    detect_races,
+    fit_affine,
+    kernel_battery,
+    prove_injective,
+    prove_loop_partition_binner,
+)
+from repro.cusim.device import KEPLER_K20X
+from repro.cusim.simt import simt_run
+from repro.errors import ParameterError
+from repro.gpu.kernels import (
+    make_atomic_histogram_kernel,
+    make_naive_histogram_kernel,
+    make_partition_binner_kernel,
+)
+
+
+def _histogram_buffers(num_keys=64, num_buckets=8, seed=7):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, num_buckets, size=num_keys).astype(np.float64)
+    return keys, np.zeros(num_buckets, dtype=np.float64)
+
+
+class TestNaiveHistogramIsFlagged:
+    def test_race_findings_with_thread_pair_and_address(self):
+        keys, buckets = _histogram_buffers()
+        check = check_kernel(
+            make_naive_histogram_kernel(), keys.size, KEPLER_K20X,
+            keys, buckets,
+        )
+        races = [f for f in check.findings if f.rule == "kernel-race"]
+        assert races, "naive histogram must be flagged"
+        assert not check.ok
+        # The first finding names the conflicting thread pair and the
+        # concrete element/address, so the defect is localizable.
+        msg = races[0].message
+        pair = re.search(r"between threads (\d+) and (\d+)", msg)
+        assert pair, msg
+        t1, t2 = int(pair.group(1)), int(pair.group(2))
+        assert t1 != t2
+        element = re.search(r"element (\d+) \(address 0x[0-9a-f]+\)", msg)
+        assert element, msg
+        # The named pair really does collide on the named bucket.
+        bucket = int(element.group(1))
+        assert int(keys[t1]) == bucket and int(keys[t2]) == bucket
+
+    def test_findings_anchor_to_kernel_source(self):
+        keys, buckets = _histogram_buffers()
+        check = check_kernel(
+            make_naive_histogram_kernel(), keys.size, KEPLER_K20X,
+            keys, buckets,
+        )
+        race = next(f for f in check.findings if f.rule == "kernel-race")
+        assert race.path == "src/repro/gpu/kernels/histogram.py"
+        assert race.line > 0
+        assert race.engine == "race"
+
+    def test_conflict_flood_is_capped_with_summary(self):
+        # Every thread hits bucket 0: one conflicting element would not
+        # exceed the cap, so spread across 4 buckets with 16 threads each.
+        keys = np.repeat(np.arange(4), 16).astype(np.float64)
+        check = check_kernel(
+            make_naive_histogram_kernel(), keys.size, KEPLER_K20X,
+            keys, np.zeros(4, dtype=np.float64),
+        )
+        races = [f for f in check.findings if f.rule == "kernel-race"]
+        # 3 detailed findings + 1 summary for the 4th element.
+        assert len(races) == 4
+        assert "further conflicting element(s)" in races[-1].message
+
+
+class TestAtomicHistogramPasses:
+    def test_no_findings_and_exact_counts(self):
+        keys, buckets = _histogram_buffers()
+        check = check_kernel(
+            make_atomic_histogram_kernel(), keys.size, KEPLER_K20X,
+            keys, buckets,
+        )
+        assert check.ok
+        assert not [f for f in check.findings if f.rule == "kernel-race"]
+        counts = check.buffers[1].data
+        expected = np.bincount(keys.astype(np.int64),
+                               minlength=counts.size)
+        np.testing.assert_array_equal(counts, expected)
+        assert check.report.atomic_ops > 0
+
+
+class TestPartitionBinnerIsClean:
+    B, ROUNDS, SIGMA, TAU, N, WIDTH = 32, 4, 9, 5, 128, 100
+
+    def _run(self):
+        rng = np.random.default_rng(11)
+        signal = rng.standard_normal(self.N) + 1j * rng.standard_normal(self.N)
+        taps = (rng.standard_normal(self.WIDTH)
+                + 1j * rng.standard_normal(self.WIDTH))
+        kernel = make_partition_binner_kernel(
+            B=self.B, rounds=self.ROUNDS, sigma=self.SIGMA, tau=self.TAU,
+            n=self.N, width=self.WIDTH,
+        )
+        return signal, taps, check_kernel(
+            kernel, self.B, KEPLER_K20X, signal, taps,
+            np.zeros(self.B, dtype=np.complex128),
+        )
+
+    def test_trace_clean_and_functionally_correct(self):
+        signal, taps, check = self._run()
+        assert check.ok
+        assert not [f for f in check.findings if f.rule == "kernel-race"]
+        assert not [f for f in check.findings if f.rule == "kernel-oob"]
+        # Ground truth: serial loop-partition fold.
+        expected = np.zeros(self.B, dtype=np.complex128)
+        for tid in range(self.B):
+            for j in range(self.ROUNDS):
+                off = tid + self.B * j
+                if off < self.WIDTH:
+                    idx = (off * self.SIGMA + self.TAU) % self.N
+                    expected[tid] += signal[idx] * taps[off]
+        np.testing.assert_allclose(check.buffers[2].data, expected)
+
+    def test_store_schedule_fits_identity_affine(self):
+        # Trace -> theorem bridge: the final store event fits
+        # (1*tid + 0) mod B, which prove_injective then clears for all B.
+        _, _, check = self._run()
+        stores = [ev for ev in check.report.events
+                  if ev.kind == "store" and not ev.atomic]
+        assert stores
+        fitted = fit_affine(stores[-1].tids, stores[-1].indices, self.B)
+        assert fitted == binner_store_index(self.B)
+        assert prove_injective(fitted, self.B).collision_free
+
+
+class TestOutOfBoundsAndDivergence:
+    def test_oob_store_is_flagged(self):
+        def oob_kernel(warp, out):
+            warp.store(out, warp.tid + 4, np.ones(warp.tid.size))
+
+        check = check_kernel(oob_kernel, 8, KEPLER_K20X,
+                             np.zeros(8, dtype=np.float64))
+        oob = [f for f in check.findings if f.rule == "kernel-oob"]
+        assert oob and not check.ok
+        assert "outside [0, 8)" in oob[0].message
+
+    def test_divergent_store_is_warning_not_error(self):
+        def divergent_kernel(warp, out):
+            warp.push_mask(warp.tid < 4)
+            warp.store(out, warp.tid, np.ones(warp.tid.size))
+            warp.pop_mask()
+
+        check = check_kernel(divergent_kernel, 8, KEPLER_K20X,
+                             np.zeros(8, dtype=np.float64))
+        divergent = [f for f in check.findings
+                     if f.rule == "kernel-divergent-store"]
+        assert divergent
+        assert divergent[0].severity == "warning"
+        assert check.ok  # warnings never fail a kernel
+
+    def test_detect_races_accepts_bare_event_list(self):
+        def racy(warp, out):
+            warp.store(out, warp.tid * 0, np.ones(warp.tid.size))
+
+        report, _ = simt_run(racy, 4, KEPLER_K20X,
+                             np.zeros(4, dtype=np.float64))
+        findings = detect_races(report.events, kernel_name="racy-by-hand")
+        assert any(f.rule == "kernel-race" for f in findings)
+        assert findings[0].path == "racy-by-hand"
+
+
+class TestSymbolicProofs:
+    def test_injective_iff_within_gcd_bound(self):
+        idx = AffineIndex(scale=2, offset=3, modulus=8)
+        assert prove_injective(idx, 4).collision_free
+        refuted = prove_injective(idx, 5)
+        assert not refuted.collision_free
+        assert "collide" in refuted.reason
+
+    def test_zero_scale_is_injective_only_solo(self):
+        idx = AffineIndex(scale=8, offset=1, modulus=8)  # scale ≡ 0
+        assert prove_injective(idx, 1).collision_free
+        assert not prove_injective(idx, 2).collision_free
+
+    def test_universal_binner_theorem(self):
+        proof = prove_loop_partition_binner()
+        assert proof.collision_free and proof.universal
+        assert "every B" in proof.reason
+
+    @pytest.mark.parametrize("B", [1, 2, 32, 57, 4096])
+    def test_concrete_binner_proofs_agree_with_theorem(self, B):
+        proof = prove_loop_partition_binner(B)
+        assert proof.collision_free
+        assert not proof.universal
+
+    def test_fit_affine_refuses_data_dependent_schedule(self):
+        keys, buckets = _histogram_buffers()
+        report, _ = simt_run(make_naive_histogram_kernel(), keys.size,
+                             KEPLER_K20X, keys, buckets)
+        stores = [ev for ev in report.events if ev.kind == "store"]
+        assert stores
+        assert fit_affine(stores[0].tids, stores[0].indices,
+                          buckets.size) is None
+
+    def test_fit_affine_recovers_nontrivial_scale(self):
+        tids = np.arange(16)
+        idx = AffineIndex(scale=5, offset=2, modulus=64)
+        assert fit_affine(tids, idx.evaluate(tids), 64) == idx
+
+    def test_validation_errors(self):
+        with pytest.raises(ParameterError):
+            AffineIndex(scale=1, offset=0, modulus=0)
+        with pytest.raises(ParameterError):
+            prove_injective(AffineIndex(1, 0, 8), 0)
+        with pytest.raises(ParameterError):
+            fit_affine(np.arange(4), np.arange(5), 8)
+
+
+class TestKernelBattery:
+    def test_battery_is_green_on_repo_tip(self):
+        assert kernel_battery() == []

@@ -1,0 +1,279 @@
+"""Repo-invariant AST rules, suppressions, schema, and the lint CLI.
+
+Each rule gets a positive (flagged) and negative (clean) case; the repo
+tip itself must lint clean — that last test is what turns the invariants
+from documentation into a gate.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.staticcheck import (
+    RULES,
+    Finding,
+    Suppressions,
+    lint_source,
+    lint_tree,
+    validate_lint_record,
+)
+from repro.analysis.staticcheck.cli import lint_main
+from repro.errors import ParameterError
+
+
+def _lint(source, relpath="core/example.py"):
+    return lint_source(textwrap.dedent(source),
+                       path=f"src/repro/{relpath}", relpath=relpath)
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestFftRegistryBypass:
+    def test_direct_np_fft_call(self):
+        findings = _lint("""
+            import numpy as np
+            spec = np.fft.fft(x)
+        """)
+        assert _rules(findings) == ["fft-registry-bypass"]
+        assert findings[0].line == 3
+        assert "get_backend" in findings[0].message
+
+    @pytest.mark.parametrize("call", [
+        "numpy.fft.ifft(x)", "scipy.fft.rfft(x)", "np.fft.fft2(x)",
+        "pyfftw.interfaces.numpy_fft.fft(x)",
+    ])
+    def test_other_vendor_transforms(self, call):
+        findings = _lint(f"y = {call}\n")
+        assert _rules(findings) == ["fft-registry-bypass"]
+
+    def test_from_import_of_transform(self):
+        findings = _lint("from numpy.fft import fft\n")
+        assert _rules(findings) == ["fft-registry-bypass"]
+
+    def test_registry_call_is_clean(self):
+        assert _lint("""
+            from repro.core.fft_backend import get_backend
+            spec = get_backend().fft(x)
+        """) == []
+
+    def test_non_transform_fft_attrs_are_clean(self):
+        # fftfreq/fftshift are helpers, not transforms.
+        assert _lint("""
+            import numpy as np
+            f = np.fft.fftfreq(n)
+            g = np.fft.fftshift(f)
+        """) == []
+
+    def test_fft_backend_module_is_exempt(self):
+        findings = _lint("import numpy as np\ny = np.fft.fft(x)\n",
+                         relpath="core/fft_backend.py")
+        assert findings == []
+
+
+class TestMetricNameFamily:
+    def test_off_family_literal_is_flagged(self):
+        findings = _lint('m = registry.counter("mylib.things")\n')
+        assert _rules(findings) == ["metric-name-family"]
+
+    @pytest.mark.parametrize("name", [
+        "sfft.perm_filter.seconds", "cusim.kernel.launches", "sfft.loops",
+    ])
+    def test_family_names_are_clean(self, name):
+        assert _lint(f'm = registry.gauge("{name}")\n') == []
+
+    @pytest.mark.parametrize("name", ["sfft.Bad", "sfft", "cusim..x"])
+    def test_malformed_family_names_are_flagged(self, name):
+        findings = _lint(f'm = registry.histogram("{name}")\n')
+        assert _rules(findings) == ["metric-name-family"]
+
+    def test_dynamic_names_are_not_guessed(self):
+        # Only literals are checkable; a variable name passes.
+        assert _lint("m = registry.counter(name)\n") == []
+
+
+class TestWorkspaceMutation:
+    @pytest.mark.parametrize("stmt", [
+        "ws.gather[0] = 1", "self._taps_flat[:] = 0",
+        "ws.taps_matrix = other", "ws.gather += 1",
+    ])
+    def test_writes_are_flagged(self, stmt):
+        findings = _lint(f"{stmt}\n")
+        assert _rules(findings) == ["workspace-mutation"]
+
+    def test_inplace_method_is_flagged(self):
+        findings = _lint("ws.gather.fill(0)\n")
+        assert _rules(findings) == ["workspace-mutation"]
+
+    def test_reads_are_clean(self):
+        assert _lint("x = ws.gather[0] + ws.taps_flat.sum()\n") == []
+
+    def test_workspace_module_is_exempt(self):
+        assert _lint("self._gather = build()\n",
+                     relpath="core/workspace.py") == []
+
+
+class TestWallclockInCore:
+    def test_time_call_in_core_is_flagged(self):
+        findings = _lint("""
+            import time
+            t0 = time.perf_counter()
+        """)
+        assert _rules(findings) == ["wallclock-in-core"]
+        assert "repro.obs.monotonic" in findings[0].message
+
+    def test_aliased_import_is_tracked(self):
+        findings = _lint("""
+            import time as clock
+            t0 = clock.monotonic()
+        """, relpath="gpu/example.py")
+        assert _rules(findings) == ["wallclock-in-core"]
+
+    def test_from_import_is_tracked(self):
+        findings = _lint("""
+            from time import perf_counter
+            t0 = perf_counter()
+        """)
+        assert _rules(findings) == ["wallclock-in-core"]
+
+    def test_outside_core_and_gpu_is_clean(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert _lint(src, relpath="obs/trace.py") == []
+        assert _lint(src, relpath="experiments/example.py") == []
+
+    def test_sleep_is_not_a_clock(self):
+        assert _lint("import time\ntime.sleep(1)\n") == []
+
+
+class TestBareValueError:
+    def test_raise_valueerror_is_flagged(self):
+        findings = _lint('raise ValueError("bad")\n')
+        assert _rules(findings) == ["bare-valueerror"]
+
+    def test_reraise_name_is_flagged(self):
+        assert _rules(_lint("raise ValueError\n")) == ["bare-valueerror"]
+
+    def test_parameter_error_is_clean(self):
+        assert _lint("""
+            from repro.errors import ParameterError
+            raise ParameterError("bad")
+        """) == []
+
+    def test_catching_valueerror_is_clean(self):
+        assert _lint("""
+            try:
+                f()
+            except ValueError:
+                pass
+        """) == []
+
+
+class TestSuppressions:
+    def test_targeted_suppression(self):
+        src = ("import numpy as np\n"
+               "y = np.fft.fft(x)  # reprolint: ignore[fft-registry-bypass]\n")
+        assert lint_source(src, path="a.py", relpath="core/a.py") == []
+
+    def test_bare_suppression_covers_all_rules(self):
+        src = 'raise ValueError("x")  # reprolint: ignore\n'
+        assert lint_source(src, path="a.py", relpath="core/a.py") == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = ('raise ValueError("x")  '
+               "# reprolint: ignore[fft-registry-bypass]\n")
+        findings = lint_source(src, path="a.py", relpath="core/a.py")
+        assert _rules(findings) == ["bare-valueerror"]
+
+    def test_multiline_statement_suppressed_on_any_line(self):
+        src = ("import numpy as np\n"
+               "y = np.fft.fft(\n"
+               "    x,\n"
+               ")  # reprolint: ignore[fft-registry-bypass]\n")
+        assert lint_source(src, path="a.py", relpath="core/a.py") == []
+
+    def test_parsing(self):
+        sup = Suppressions(
+            "x = 1  # reprolint: ignore[rule-a, rule-b]\n"
+            "y = 2  # reprolint: ignore\n"
+        )
+        assert len(sup) == 2
+        assert sup.covers("rule-a", 1) and sup.covers("rule-b", 1)
+        assert not sup.covers("rule-c", 1)
+        assert sup.covers("anything", 2)
+        assert sup.covers("rule-a", 1, end_line=3)
+
+
+class TestFindingSchema:
+    def test_round_trip_validates(self):
+        finding = Finding(rule="kernel-race", severity="error",
+                          path="src/repro/x.py", line=3, message="boom",
+                          engine="race")
+        assert validate_lint_record(finding.to_json()) == []
+        assert finding.render() == (
+            "src/repro/x.py:3: error: boom [kernel-race]"
+        )
+        assert finding.fingerprint() == "kernel-race::src/repro/x.py::boom"
+
+    def test_invalid_records_name_the_field(self):
+        problems = validate_lint_record({"schema": "repro.lint/1"})
+        text = "\n".join(problems)
+        for field in ("rule", "severity", "path", "line", "message"):
+            assert field in text
+        assert validate_lint_record([]) == ["lint record must be a JSON object"]
+
+    def test_malformed_finding_is_rejected_at_construction(self):
+        with pytest.raises(ParameterError):
+            Finding(rule="Bad Rule", severity="error", path="x", line=1,
+                    message="m")
+        with pytest.raises(ParameterError):
+            Finding(rule="ok-rule", severity="fatal", path="x", line=1,
+                    message="m")
+
+    def test_rule_catalog_carries_rationales(self):
+        assert set(RULES) == {
+            "fft-registry-bypass", "metric-name-family",
+            "workspace-mutation", "wallclock-in-core", "bare-valueerror",
+        }
+        for rule in RULES.values():
+            assert rule.summary and rule.rationale
+
+
+class TestRepoTipIsClean:
+    def test_lint_tree_reports_nothing(self):
+        assert lint_tree() == []
+
+
+class TestLintCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_seeded_bad_file_exits_nonzero_with_anchor(self, tmp_path,
+                                                       capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import numpy as np\ny = np.fft.fft(x)\n")
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert f"{target}:2: error:" in out.replace("\\", "/")
+        assert "[fft-registry-bypass]" in out
+
+    def test_json_records_validate(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text('raise ValueError("x")\n')
+        assert lint_main(["--json", str(target)]) == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert validate_lint_record(json.loads(line)) == []
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert lint_main(["/no/such/file.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_full_repo_run_is_green(self, capsys):
+        assert lint_main(["--no-kernels"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
