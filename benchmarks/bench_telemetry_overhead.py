@@ -1,0 +1,109 @@
+"""Flight-recorder overhead on the Figure 5(a) microbench.
+
+The telemetry layer's contract is "always-on": a :class:`FlightRecorder`
+subscribed to the transform's tracer and registry must not meaningfully tax
+the hot path.  This module measures the same n = 2^18 instrumented
+transform the Fig. 5(a) microbench times, bare vs. with a recorder
+attached, and asserts the overhead stays under 5% wall (plus a small
+absolute cushion so a sub-millisecond scheduler blip cannot flake the
+suite).  The measurement lands in ``BENCH_RUNS.jsonl`` as a
+``bench-telemetry-overhead`` run record — its walls are class ``wall``,
+which the CI bench gate treats as advisory (machine-dependent), exactly
+like every other measured wall in that file.
+"""
+
+import time
+
+from conftest import BENCH_JSONL, shared_plan, shared_signal
+from repro.core import sfft
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    make_run_record,
+    write_jsonl,
+)
+
+#: Relative overhead budget (acceptance criterion) and absolute cushion.
+OVERHEAD_BUDGET = 0.05
+CUSHION_S = 2e-3
+
+#: min-of-repeats: the minimum is the least noisy wall estimator.
+REPEATS = 7
+
+
+def _min_wall(with_recorder: bool) -> float:
+    """Best-of-``REPEATS`` wall of one instrumented transform."""
+    sig, plan = shared_signal(), shared_plan()
+    best = float("inf")
+    for _ in range(REPEATS):
+        tracer, registry = Tracer(), MetricsRegistry()
+        recorder = None
+        if with_recorder:
+            recorder = FlightRecorder().attach(
+                tracer=tracer, registry=registry
+            )
+        sfft(sig.time, plan=plan, tracer=tracer, metrics=registry)  # warm
+        t0 = time.perf_counter()
+        sfft(sig.time, plan=plan, tracer=tracer, metrics=registry)
+        best = min(best, time.perf_counter() - t0)
+        if recorder is not None:
+            assert len(recorder) > 0  # it really was recording
+            recorder.detach()
+    return best
+
+
+def test_sfft_with_flight_recorder(benchmark):
+    """Instrumented transform with an attached recorder (timed row)."""
+    sig, plan = shared_signal(), shared_plan()
+    tracer, registry = Tracer(), MetricsRegistry()
+    with FlightRecorder().attach(tracer=tracer, registry=registry):
+        result = benchmark(
+            lambda: sfft(sig.time, plan=plan, tracer=tracer,
+                         metrics=registry)
+        )
+    assert result.k_found == plan.k
+
+
+def test_flight_recorder_overhead_under_budget():
+    """Acceptance criterion: recorder overhead < 5% wall on fig5a's bench."""
+    bare = _min_wall(with_recorder=False)
+    recorded = _min_wall(with_recorder=True)
+    overhead = recorded / bare if bare > 0 else 1.0
+    print(f"\nflight recorder overhead @2^18: bare {bare * 1e3:.2f} ms, "
+          f"recorded {recorded * 1e3:.2f} ms ({overhead:.3f}x)")
+
+    if BENCH_JSONL:
+        plan = shared_plan()
+        record = make_run_record(
+            "bench-telemetry-overhead",
+            params={"n": plan.n, "k": plan.k, "repeats": REPEATS},
+            results={
+                "bare_wall_s": bare,
+                "recorded_wall_s": recorded,
+                "overhead_x": overhead,
+            },
+        )
+        write_jsonl(BENCH_JSONL, record)
+
+    assert recorded <= bare * (1.0 + OVERHEAD_BUDGET) + CUSHION_S, (
+        f"flight recorder overhead {overhead:.3f}x exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget (bare {bare * 1e3:.2f} ms, "
+        f"recorded {recorded * 1e3:.2f} ms)"
+    )
+
+
+def test_recorder_dump_is_cheap_and_valid():
+    """`dump()` mid-stream stays schema-valid (and does not stop traffic)."""
+    from repro.obs import validate_run_record
+
+    sig, plan = shared_signal(), shared_plan()
+    tracer, registry = Tracer(), MetricsRegistry()
+    with FlightRecorder(capacity=256).attach(
+        tracer=tracer, registry=registry
+    ) as recorder:
+        sfft(sig.time, plan=plan, tracer=tracer, metrics=registry)
+        snapshot = recorder.dump(name="bench-flight")
+        sfft(sig.time, plan=plan, tracer=tracer, metrics=registry)
+    assert validate_run_record(snapshot) == []
+    assert snapshot["params"]["events"] <= 256

@@ -33,7 +33,8 @@ Options::
                          dimensionless ``batch_speedup_x`` — class as
                          ``wall``/skipped, so they trend in the trajectory
                          without ever failing the machine-independent gate)
-    --wall-threshold F / --modeled-threshold F / --accuracy-threshold F
+    --wall-threshold F / --modeled-threshold F / --accuracy-threshold F /
+    --memory-threshold F
                          per-class relative thresholds
     --session TAG        tag trajectory points with a session label
     --json               print the machine-readable verdict document
@@ -79,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--wall-threshold", type=float, default=None)
     parser.add_argument("--modeled-threshold", type=float, default=None)
     parser.add_argument("--accuracy-threshold", type=float, default=None)
+    parser.add_argument("--memory-threshold", type=float, default=None)
     parser.add_argument("--session", default=None)
     parser.add_argument("--json", action="store_true", dest="as_json")
     return parser

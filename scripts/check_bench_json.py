@@ -12,9 +12,13 @@ With no paths, scans the repository root for ``BENCH_*.json`` files and
 * ``.jsonl`` lines are dispatched on their ``schema`` field: lines
   declaring ``"repro.lint/1"`` are validated as linter findings
   (``repro.analysis.staticcheck.validate_lint_record``, the output of
-  ``python -m repro lint --json``); all other lines must be valid
-  ``repro.run/1`` records (see ``repro.obs.validate_run_record`` — one
-  schema, shared with the library so CI and the writer cannot drift);
+  ``python -m repro lint --json``); lines declaring
+  ``"repro.telemetry/1"`` are validated as streaming-telemetry heartbeats
+  (``repro.obs.validate_telemetry_record``, the output of the
+  ``TelemetryFlusher`` / ``python -m repro export --telemetry``); all
+  other lines must be valid ``repro.run/1`` records (see
+  ``repro.obs.validate_run_record`` — one schema, shared with the
+  library so CI and the writer cannot drift);
   records named ``bench-executor`` additionally must carry the stack
   geometry and positive ``wall_s_workers_<N>`` walls (the executor
   scaling curve);
@@ -49,9 +53,11 @@ from repro.analysis.staticcheck import (  # noqa: E402
 )
 from repro.obs import (  # noqa: E402
     BASELINE_SCHEMA,
+    TELEMETRY_SCHEMA,
     TRAJECTORY_SCHEMA,
     validate_baseline,
     validate_run_record,
+    validate_telemetry_record,
     validate_trajectory,
 )
 
@@ -111,6 +117,11 @@ def check_jsonl(path: str) -> list[str]:
                 continue
             if isinstance(record, dict) and record.get("schema") == LINT_SCHEMA:
                 for issue in validate_lint_record(record):
+                    problems.append(f"{path}:{lineno}: {issue}")
+                continue
+            if isinstance(record, dict) \
+                    and record.get("schema") == TELEMETRY_SCHEMA:
+                for issue in validate_telemetry_record(record):
                     problems.append(f"{path}:{lineno}: {issue}")
                 continue
             for issue in validate_run_record(record):

@@ -23,6 +23,11 @@ by path relative to the ``repro`` package root (posix separators):
   :class:`~repro.errors.ParameterError` (or another
   :class:`~repro.errors.ReproError`), never bare ``ValueError``, so
   callers can catch one hierarchy.
+* ``telemetry-thread-safety`` — the registry's instrument table and
+  subscriber lists, and the flight recorder's ring deque, are guarded by
+  locks inside ``obs/``; code elsewhere must go through the public
+  subscription API (``subscribe()`` / ``record_*`` / the instruments),
+  never touch ``_instruments`` / ``_subscribers`` / ``_ring`` directly.
 """
 
 from __future__ import annotations
@@ -82,6 +87,15 @@ RULES: dict[str, Rule] = {r.id: r for r in (
         "Entry points raise ParameterError/LaunchConfigError (both "
         "ValueError-compatible) so callers catch one hierarchy.",
     ),
+    Rule(
+        "telemetry-thread-safety", "error",
+        "direct access to registry/ring-buffer internals outside obs/",
+        "MetricsRegistry._instruments, the _subscribers lists, and "
+        "FlightRecorder._ring are mutated under locks owned by obs/; "
+        "outside code must use the public subscription API (subscribe, "
+        "record_span/record_metric, the instruments) or updates race "
+        "and the re-entrancy guard is bypassed.",
+    ),
 )}
 
 #: FFT transform attribute names that constitute a registry bypass.
@@ -104,11 +118,14 @@ _FROZEN_WORKSPACE_ATTRS = frozenset({
 _MUTATING_METHODS = frozenset({"fill", "sort", "put", "partition", "resize"})
 _CLOCK_FUNCS = frozenset({"time", "perf_counter", "monotonic",
                           "process_time", "thread_time"})
+#: Lock-guarded telemetry internals (see obs/metrics.py, obs/live.py).
+_TELEMETRY_INTERNALS = frozenset({"_instruments", "_subscribers", "_ring"})
 
 #: Per-rule path exemptions (exact file, or a trailing-slash prefix).
 _EXEMPT = {
     "fft-registry-bypass": ("core/fft_backend.py",),
     "workspace-mutation": ("core/workspace.py",),
+    "telemetry-thread-safety": ("obs/",),
 }
 #: wallclock-in-core only *applies* to these subtrees.
 _WALLCLOCK_SCOPE = ("core/", "gpu/")
@@ -283,6 +300,18 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_store_targets(node, [node.target])
+        self.generic_visit(node)
+
+    # -- attribute loads/stores: telemetry internals ------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _TELEMETRY_INTERNALS:
+            self._emit(
+                "telemetry-thread-safety", node,
+                f"direct .{node.attr} access outside obs/ — use the "
+                f"public subscription API (subscribe / record_* / the "
+                f"instruments); the internals are lock-guarded",
+            )
         self.generic_visit(node)
 
     # -- raises: error hierarchy --------------------------------------------

@@ -36,8 +36,11 @@ Observability: each shard's stage spans land on its worker's trace track
 (``worker0``, ``worker1``, ... — mirroring the simulator's per-stream
 tracks, so Perfetto shows the overlap), and every run publishes the
 ``sfft.executor.*`` metrics family: shard/signal counts, queue wait,
-per-shard wall, and the achieved overlap ratio (total busy seconds over
-elapsed wall — values above 1.0 mean stages genuinely overlapped).
+per-shard wall, the achieved overlap ratio (total busy seconds over
+elapsed wall — values above 1.0 mean stages genuinely overlapped), and
+the leased-workspace footprint (``workspace_shared_bytes`` for the
+immutable arrays the pool shares, ``worker_scratch_bytes`` /
+``clone_bytes`` for the private per-worker scratch and its pool total).
 """
 
 from __future__ import annotations
@@ -180,10 +183,25 @@ class ShardedExecutor:
         # other workers' shards are mid-flight).
         base = plan.workspace()
         pool: queue.SimpleQueue = queue.SimpleQueue()
+        clones = []
         for w in range(nw):
-            pool.put((w, base.clone(
+            clone = base.clone(
                 fft_backend=self.fft_backend, fft_workers=self.fft_workers,
-            )))
+            )
+            clones.append(clone)
+            pool.put((w, clone))
+
+        # Memory attribution of the lease: the immutable gather/tap arrays
+        # are shared once across the pool, the scratch is paid per clone.
+        base_mem = base.memory_breakdown()
+        scratch_each = (
+            clones[0].memory_breakdown()["scratch_bytes"] if clones else 0
+        )
+        registry.gauge("sfft.executor.workspace_shared_bytes").set(
+            base_mem["gather_bytes"] + base_mem["tap_bytes"]
+        )
+        registry.gauge("sfft.executor.worker_scratch_bytes").set(scratch_each)
+        registry.gauge("sfft.executor.clone_bytes").set(scratch_each * nw)
 
         @contextmanager
         def _stage_span(name: str, track: str, attrs: dict):

@@ -11,8 +11,13 @@ while distinct seeds or overrides never collide.
 Cache traffic is observable through the shared metrics registry
 (:func:`repro.obs.global_registry`):
 
-* ``sfft.plan_cache.hit``  — calls served from the cache;
-* ``sfft.plan_cache.miss`` — calls that paid plan synthesis.
+* ``sfft.plan_cache.hit``       — calls served from the cache;
+* ``sfft.plan_cache.miss``      — calls that paid plan synthesis;
+* ``sfft.plan_cache.evictions`` — LRU entries displaced at capacity;
+* ``sfft.plan_cache.hit_rate``  — derived gauge, hits / (hits + misses);
+* ``sfft.plan_cache.bytes``     — resident footprint (:meth:`PlanCache.
+  nbytes`: filter arrays plus each plan's built workspace);
+* ``sfft.plan_cache.entries``   — resident plan count.
 
 Keying notes:
 
@@ -62,6 +67,7 @@ class PlanCache:
         self._plans: OrderedDict[tuple, SfftPlan] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _key(
@@ -98,6 +104,7 @@ class PlanCache:
             # Generator seeds are intentionally uncacheable; build fresh.
             global_registry().counter("sfft.plan_cache.miss").inc()
             self.misses += 1
+            self._publish()
             return make_plan(n, k, seed=seed, params=params, **overrides)
         with self._lock:
             plan = self._plans.get(key)
@@ -106,16 +113,44 @@ class PlanCache:
                 self.hits += 1
         if plan is not None:
             global_registry().counter("sfft.plan_cache.hit").inc()
+            self._publish()
             return plan
         plan = make_plan(n, k, seed=seed, params=params, **overrides)
+        evicted = 0
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
             self.misses += 1
-        global_registry().counter("sfft.plan_cache.miss").inc()
+        registry = global_registry()
+        registry.counter("sfft.plan_cache.miss").inc()
+        if evicted:
+            registry.counter("sfft.plan_cache.evictions").inc(evicted)
+        self._publish()
         return plan
+
+    def _publish(self) -> None:
+        """Refresh the derived gauges after any traffic or residency change.
+
+        Gauges land on the global registry (like the hit/miss counters),
+        outside :attr:`_lock` — counter/gauge updates fan out to registry
+        subscribers (flight recorders), and those callbacks must never run
+        under a cache-internal lock.
+        """
+        from ..obs import global_registry
+
+        stats = self.stats()
+        registry = global_registry()
+        total = stats["hits"] + stats["misses"]
+        if total:
+            registry.gauge("sfft.plan_cache.hit_rate").set(
+                stats["hits"] / total
+            )
+        registry.gauge("sfft.plan_cache.bytes").set(self.nbytes())
+        registry.gauge("sfft.plan_cache.entries").set(stats["size"])
 
     def __len__(self) -> int:
         with self._lock:
@@ -126,21 +161,82 @@ class PlanCache:
             return key in self._plans
 
     def clear(self) -> None:
-        """Drop every cached plan and reset the local hit/miss tallies."""
+        """Drop every cached plan and reset the local tallies."""
         with self._lock:
             self._plans.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict:
-        """``{"hits", "misses", "size", "capacity"}`` snapshot."""
+        """``{"hits", "misses", "evictions", "size", "capacity"}`` snapshot."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "size": len(self._plans),
                 "capacity": self.capacity,
             }
+
+    # -- memory accounting -------------------------------------------------
+
+    @staticmethod
+    def plan_nbytes(plan: SfftPlan) -> int:
+        """Accountable bytes of one resident plan.
+
+        Filter arrays (time + frequency taps) plus the plan's cached
+        workspace when one has been built — via
+        :meth:`~repro.core.workspace.PlanWorkspace.memory_breakdown`,
+        which already excludes no-copy views of the filter, so nothing is
+        double counted.  Permutations and parameters are a few plain ints
+        each; they are deliberately left out so the sum stays exactly
+        reproducible from array shapes.
+        """
+        total = int(plan.filt.time.nbytes) + int(plan.filt.freq.nbytes)
+        ws = plan._workspace
+        if ws is not None:
+            total += int(ws.memory_breakdown()["total_bytes"])
+        return total
+
+    def nbytes(self) -> int:
+        """Total accountable bytes across every resident plan."""
+        with self._lock:
+            plans = list(self._plans.values())
+        return sum(self.plan_nbytes(plan) for plan in plans)
+
+    def memory_breakdown(self) -> list[dict]:
+        """Per-entry byte attribution, least recently used first.
+
+        One dict per resident plan: shape (``n``, ``k``), the filter's
+        array bytes, the built workspace's gather/tap/scratch split (zeros
+        while the lazy arrays are untouched), and the entry total.
+        """
+        with self._lock:
+            plans = list(self._plans.values())
+        out: list[dict] = []
+        for plan in plans:
+            entry: dict = {
+                "n": plan.n,
+                "k": plan.k,
+                "filter_bytes": int(plan.filt.time.nbytes)
+                + int(plan.filt.freq.nbytes),
+                "gather_bytes": 0,
+                "tap_bytes": 0,
+                "scratch_bytes": 0,
+            }
+            ws = plan._workspace
+            if ws is not None:
+                breakdown = ws.memory_breakdown()
+                entry["gather_bytes"] = breakdown["gather_bytes"]
+                entry["tap_bytes"] = breakdown["tap_bytes"]
+                entry["scratch_bytes"] = breakdown["scratch_bytes"]
+            entry["total_bytes"] = (
+                entry["filter_bytes"] + entry["gather_bytes"]
+                + entry["tap_bytes"] + entry["scratch_bytes"]
+            )
+            out.append(entry)
+        return out
 
 
 _GLOBAL_CACHE = PlanCache()

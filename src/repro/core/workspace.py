@@ -166,6 +166,33 @@ class PlanWorkspace:
     def _gather_row(self, r: int) -> np.ndarray:
         return permuted_indices(self.plan.permutations[r], self._padded)
 
+    # -- memory accounting -------------------------------------------------
+
+    def memory_breakdown(self) -> dict[str, int]:
+        """Current footprint in bytes, split the way :meth:`clone` shares.
+
+        Counts only *materialized* arrays (the lazy gather/tap properties
+        stay at zero until first touched, so accounting never forces an
+        allocation).  ``gather_bytes`` and ``tap_bytes`` are the immutable
+        arrays clones share; ``scratch_bytes`` is the private per-worker
+        part.  ``tap_bytes`` is 0 when :attr:`taps_flat` resolved to a
+        no-copy view of the plan's own filter (the plan already owns those
+        bytes); the reshaped :attr:`taps_matrix` is always a view and never
+        counted.
+        """
+        gather_bytes = 0 if self._gather is None else int(self._gather.nbytes)
+        tap_bytes = 0
+        if self._taps_flat is not None \
+                and self._taps_flat is not self.plan.filt.time:
+            tap_bytes = int(self._taps_flat.nbytes)
+        scratch_bytes = int(self.raw.nbytes) + int(self.scores.nbytes)
+        return {
+            "gather_bytes": gather_bytes,
+            "tap_bytes": tap_bytes,
+            "scratch_bytes": scratch_bytes,
+            "total_bytes": gather_bytes + tap_bytes + scratch_bytes,
+        }
+
     # -- concurrency -------------------------------------------------------
 
     def clone(

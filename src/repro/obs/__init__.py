@@ -13,18 +13,36 @@ GPU (``repro.gpu`` / ``repro.cusim``), and the benchmark/experiment harness:
   append-only history (``repro.trajectory/1``) of run-record metrics, with
   a noise-aware regression gate (``scripts/bench_gate.py``);
 * attribution reports — per-span self-time tables, flamegraph
-  collapsed-stack export, and trajectory sparkline dashboards.
+  collapsed-stack export, and trajectory sparkline dashboards;
+* live telemetry — a bounded :class:`FlightRecorder` over span closes and
+  metric updates, ``tracemalloc``-backed memory gauges
+  (:class:`MemorySampler`), and streaming export: Prometheus text
+  (:func:`render_prometheus`), ``repro.telemetry/1`` JSONL heartbeats
+  (:class:`TelemetryFlusher`), and the ``python -m repro top`` dashboard.
 
 See ``docs/observability.md`` for the naming scheme and schemas.
 """
 
 from .export import (
     RUN_RECORD_SCHEMA,
+    atomic_append_text,
     make_run_record,
     render_obs_summary,
     validate_run_record,
     write_jsonl,
 )
+from .expose import (
+    TELEMETRY_SCHEMA,
+    TelemetryFlusher,
+    dashboard_sample,
+    make_telemetry_record,
+    prometheus_name,
+    render_dashboard,
+    render_prometheus,
+    validate_telemetry_record,
+)
+from .live import DEFAULT_FLIGHT_CAPACITY, FlightEvent, FlightRecorder
+from .memory import MemorySampler, publish_plan_cache_memory
 from .metrics import (
     Counter,
     Gauge,
@@ -68,10 +86,24 @@ __all__ = [
     "emit_sfft_metrics",
     "global_registry",
     "RUN_RECORD_SCHEMA",
+    "atomic_append_text",
     "make_run_record",
     "render_obs_summary",
     "validate_run_record",
     "write_jsonl",
+    "TELEMETRY_SCHEMA",
+    "TelemetryFlusher",
+    "dashboard_sample",
+    "make_telemetry_record",
+    "prometheus_name",
+    "render_dashboard",
+    "render_prometheus",
+    "validate_telemetry_record",
+    "DEFAULT_FLIGHT_CAPACITY",
+    "FlightEvent",
+    "FlightRecorder",
+    "MemorySampler",
+    "publish_plan_cache_memory",
     "BASELINE_SCHEMA",
     "TRAJECTORY_SCHEMA",
     "GateConfig",

@@ -19,6 +19,9 @@ Schema ``repro.run/1`` (see ``docs/observability.md``):
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import tempfile
 from typing import Any
 
 from ..errors import ParameterError
@@ -27,6 +30,7 @@ from .trace import Tracer
 
 __all__ = [
     "RUN_RECORD_SCHEMA",
+    "atomic_append_text",
     "make_run_record",
     "write_jsonl",
     "validate_run_record",
@@ -34,6 +38,36 @@ __all__ = [
 ]
 
 RUN_RECORD_SCHEMA = "repro.run/1"
+
+
+def atomic_append_text(path: str, text: str) -> None:
+    """Append ``text`` to ``path`` so readers never see a partial write.
+
+    The existing file (if any) is copied to a temp file in the same
+    directory, the new text is appended there, the result is fsynced, and
+    an atomic ``os.replace`` swaps it in.  A process killed mid-append
+    leaves either the old file or the new one — never a truncated line,
+    which would break the JSONL schema gate on the next run.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as out:
+            if os.path.exists(path):
+                with open(path, "rb") as src:
+                    shutil.copyfileobj(src, out)
+            out.write(text.encode("utf-8"))
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _jsonify(value: Any) -> Any:
@@ -90,8 +124,7 @@ def write_jsonl(path: str, record: dict) -> None:
         raise ParameterError(
             f"refusing to write invalid run record: {problems}"
         )
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    atomic_append_text(path, json.dumps(record, separators=(",", ":")) + "\n")
 
 
 def validate_run_record(record: Any) -> list[str]:

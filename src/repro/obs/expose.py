@@ -1,0 +1,408 @@
+"""Streaming export — Prometheus text, telemetry JSONL, live dashboard.
+
+The run-record pipeline persists *one* document per finished run; a live
+process needs its registry visible *while it runs*.  Three surfaces, all
+reading the same :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`render_prometheus` — the whole registry in Prometheus text
+  exposition format (version 0.0.4).  Naming mapping: dots become
+  underscores (``sfft.plan_cache.bytes`` → ``sfft_plan_cache_bytes``),
+  counters gain the conventional ``_total`` suffix, histograms render as
+  summaries with ``quantile`` labels plus ``_sum`` / ``_count``;
+* ``repro.telemetry/1`` records — a periodic JSONL heartbeat
+  (:func:`make_telemetry_record` / :func:`validate_telemetry_record`,
+  policed by ``scripts/check_bench_json.py`` like every other schema),
+  appended crash-safely by the :class:`TelemetryFlusher` daemon thread;
+* :func:`dashboard_sample` / :func:`render_dashboard` — the ASCII
+  ``python -m repro top`` view: sparkline history of queue wait, shard
+  wall p50/p99, plan-cache hit rate and bytes, traced memory.
+
+Schema ``repro.telemetry/1``:
+
+* ``schema`` — the literal ``"repro.telemetry/1"``;
+* ``seq`` — record sequence number within one flusher, 0-based;
+* ``ts_s`` — :func:`~repro.obs.trace.monotonic` timestamp (>= 0);
+* ``metrics`` — :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
+* optional ``events`` / ``dropped`` — flight-recorder occupancy and loss.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Mapping, Sequence
+
+from ..errors import ParameterError
+from .export import atomic_append_text
+from .metrics import MetricsRegistry, global_registry
+from .report import sparkline
+from .trace import monotonic
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "TelemetryFlusher",
+    "dashboard_sample",
+    "make_telemetry_record",
+    "prometheus_name",
+    "render_dashboard",
+    "render_prometheus",
+    "validate_telemetry_record",
+]
+
+TELEMETRY_SCHEMA = "repro.telemetry/1"
+
+#: Histogram percentiles exported as Prometheus summary quantiles.
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+# --------------------------------------------------------------------------
+# Prometheus text exposition
+# --------------------------------------------------------------------------
+
+def prometheus_name(name: str) -> str:
+    """The registry's dotted name in Prometheus spelling.
+
+    Dots (the registry's namespace separator) and dashes become
+    underscores; the scheme's names are already lowercase ``[a-z0-9_.]``
+    (lint rule ``metric-name-family``), so nothing else needs escaping.
+    """
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _num(value: Any) -> str:
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Counters render as ``<name>_total``, gauges as-is (unset gauges are
+    skipped — no value is not 0), histograms as summaries with p50/p90/p99
+    ``quantile`` labels plus ``_sum`` and ``_count`` series.  Ends with a
+    newline, as scrapers expect.
+    """
+    reg = registry if registry is not None else global_registry()
+    snap = reg.snapshot()
+    lines: list[str] = []
+    for name in sorted(snap):
+        state = snap[name]
+        kind = state.get("kind")
+        pname = prometheus_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {pname}_total counter")
+            lines.append(f"{pname}_total {_num(state.get('value', 0.0))}")
+        elif kind == "gauge":
+            value = state.get("value")
+            if value is None:
+                continue
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_num(value)}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {pname} summary")
+            count = int(state.get("count", 0))
+            for quantile, stat in _QUANTILES:
+                if stat in state:
+                    lines.append(
+                        f'{pname}{{quantile="{quantile}"}} '
+                        f"{_num(state[stat])}"
+                    )
+            lines.append(f"{pname}_sum {_num(state.get('sum', 0.0))}")
+            lines.append(f"{pname}_count {_num(count)}")
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+# --------------------------------------------------------------------------
+# repro.telemetry/1 records
+# --------------------------------------------------------------------------
+
+def make_telemetry_record(
+    registry: MetricsRegistry | None = None,
+    *,
+    seq: int,
+    ts_s: float | None = None,
+    events: int | None = None,
+    dropped: int | None = None,
+) -> dict[str, Any]:
+    """One schema-valid ``repro.telemetry/1`` heartbeat record."""
+    record: dict[str, Any] = {
+        "schema": TELEMETRY_SCHEMA,
+        "seq": int(seq),
+        "ts_s": monotonic() if ts_s is None else float(ts_s),
+        "metrics": (
+            registry if registry is not None else global_registry()
+        ).snapshot(),
+    }
+    if events is not None:
+        record["events"] = int(events)
+    if dropped is not None:
+        record["dropped"] = int(dropped)
+    return record
+
+
+def validate_telemetry_record(record: Any) -> list[str]:
+    """Check one record against ``repro.telemetry/1``; returns problems.
+
+    Empty list means valid — same contract as
+    :func:`~repro.obs.export.validate_run_record`, shared by the library
+    and ``scripts/check_bench_json.py``.
+    """
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be a JSON object, got {type(record).__name__}"]
+    if record.get("schema") != TELEMETRY_SCHEMA:
+        problems.append(
+            f"schema must be {TELEMETRY_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        problems.append(f"seq must be an integer >= 0, got {seq!r}")
+    ts = record.get("ts_s")
+    if (
+        not isinstance(ts, (int, float))
+        or isinstance(ts, bool)
+        or ts < 0
+    ):
+        problems.append(f"ts_s must be a number >= 0, got {ts!r}")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        for mname, state in metrics.items():
+            if not isinstance(state, dict) or "kind" not in state:
+                problems.append(
+                    f"metric {mname!r} must be an object with 'kind'"
+                )
+    for key in ("events", "dropped"):
+        if key in record:
+            value = record[key]
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                problems.append(
+                    f"{key} must be an integer >= 0, got {value!r}"
+                )
+    return problems
+
+
+class TelemetryFlusher:
+    """Daemon thread appending telemetry records to a JSONL file.
+
+    Each flush snapshots the registry into a ``repro.telemetry/1`` record
+    and appends it crash-safely (:func:`~repro.obs.export.
+    atomic_append_text`), so a killed process never leaves a truncated
+    line.  ``recorder`` (optional, duck-typed as ``__len__`` +
+    ``dropped``) annotates each record with flight-recorder occupancy.
+
+    Start/stop semantics are clean by construction: :meth:`start` flushes
+    immediately (the file exists from the first instant), :meth:`stop`
+    flushes one final record and joins the thread; both are idempotent
+    enough for ``with`` use.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        registry: MetricsRegistry | None = None,
+        *,
+        interval_s: float = 1.0,
+        recorder: Any = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ParameterError(
+                f"interval_s must be > 0, got {interval_s}"
+            )
+        self.path = str(path)
+        self.interval_s = float(interval_s)
+        self._registry = registry if registry is not None else global_registry()
+        self._recorder = recorder
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def seq(self) -> int:
+        """Records written so far."""
+        with self._seq_lock:
+            return self._seq
+
+    def flush_now(self) -> dict[str, Any]:
+        """Append one record immediately; returns it."""
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
+        events = dropped = None
+        if self._recorder is not None:
+            events = len(self._recorder)
+            dropped = int(self._recorder.dropped)
+        record = make_telemetry_record(
+            self._registry, seq=seq, events=events, dropped=dropped
+        )
+        problems = validate_telemetry_record(record)
+        if problems:
+            raise ParameterError(
+                f"refusing to write invalid telemetry record: {problems}"
+            )
+        atomic_append_text(
+            self.path, json.dumps(record, separators=(",", ":")) + "\n"
+        )
+        return record
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.flush_now()
+
+    def start(self) -> "TelemetryFlusher":
+        """Flush once, then keep flushing every interval; returns self."""
+        if self._thread is not None:
+            raise ParameterError("flusher is already running")
+        self.flush_now()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-telemetry-flusher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the thread (joined) and flush one final record."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout)
+        self.flush_now()
+
+    def __enter__(self) -> "TelemetryFlusher":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+# --------------------------------------------------------------------------
+# live dashboard (`python -m repro top`)
+# --------------------------------------------------------------------------
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.1f} ms"
+    return f"{value * 1e6:.0f} us"
+
+
+def _fmt_bytes(value: float | None) -> str:
+    if value is None:
+        return "-"
+    size = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.0f} {unit}" if unit == "B" else f"{size:.1f} {unit}"
+        size /= 1024.0
+    return f"{size:.1f} GiB"
+
+
+def dashboard_sample(
+    registry: MetricsRegistry | None = None,
+) -> dict[str, float | None]:
+    """One timestamped reading of the dashboard's headline series.
+
+    Pulls from the executor family (queue wait / shard wall percentiles),
+    the plan cache (hit rate, bytes), the memory sampler, and the flight
+    recorder's drop counter.  Missing instruments read as ``None`` — the
+    dashboard renders before the first transform lands.
+    """
+    reg = registry if registry is not None else global_registry()
+    snap = reg.snapshot()
+
+    def gauge(name: str) -> float | None:
+        state = snap.get(name)
+        if state is None or state.get("kind") != "gauge":
+            return None
+        value = state.get("value")
+        return None if value is None else float(value)
+
+    def counter(name: str) -> float | None:
+        state = snap.get(name)
+        if state is None or state.get("kind") != "counter":
+            return None
+        return float(state.get("value", 0.0))
+
+    def hist(name: str, stat: str) -> float | None:
+        state = snap.get(name)
+        if state is None or state.get("kind") != "histogram" \
+                or stat not in state:
+            return None
+        return float(state[stat])
+
+    hit = counter("sfft.plan_cache.hit")
+    miss = counter("sfft.plan_cache.miss")
+    hit_rate = gauge("sfft.plan_cache.hit_rate")
+    if hit_rate is None and hit is not None and miss is not None \
+            and hit + miss > 0:
+        hit_rate = hit / (hit + miss)
+    return {
+        "ts_s": monotonic(),
+        "queue_wait_p50_s": hist("sfft.executor.queue_wait_s", "p50"),
+        "queue_wait_p99_s": hist("sfft.executor.queue_wait_s", "p99"),
+        "shard_wall_p50_s": hist("sfft.executor.shard_wall_s", "p50"),
+        "shard_wall_p99_s": hist("sfft.executor.shard_wall_s", "p99"),
+        "plan_cache_hit_rate": hit_rate,
+        "plan_cache_bytes": gauge("sfft.plan_cache.bytes"),
+        "traced_bytes": gauge("sfft.mem.traced_bytes"),
+        "flight_dropped": counter("sfft.flight.dropped"),
+    }
+
+
+#: Dashboard rows: (sample key, label, formatter tag).
+_DASH_ROWS = (
+    ("queue_wait_p50_s", "queue wait p50", "s"),
+    ("queue_wait_p99_s", "queue wait p99", "s"),
+    ("shard_wall_p50_s", "shard wall p50", "s"),
+    ("shard_wall_p99_s", "shard wall p99", "s"),
+    ("plan_cache_hit_rate", "plan cache hit rate", "ratio"),
+    ("plan_cache_bytes", "plan cache bytes", "bytes"),
+    ("traced_bytes", "traced memory", "bytes"),
+    ("flight_dropped", "flight dropped", "count"),
+)
+
+
+def render_dashboard(
+    samples: Sequence[Mapping[str, float | None]],
+    *,
+    title: str = "live telemetry",
+    width: int = 32,
+) -> str:
+    """The ``python -m repro top`` frame: one sparkline row per series.
+
+    ``samples`` is a history of :func:`dashboard_sample` dicts, oldest
+    first; each row shows the series trend and its latest value.  Series
+    with no data yet render as ``(no data)``.
+    """
+    latest = samples[-1] if samples else {}
+    lines = [f"{title}  ({len(samples)} sample(s))"]
+    label_w = max(len(label) for _, label, _ in _DASH_ROWS)
+    for key, label, tag in _DASH_ROWS:
+        history = [
+            float(v) for s in samples
+            if (v := s.get(key)) is not None
+        ]
+        if not history:
+            lines.append(f"  {label.ljust(label_w)}  (no data)")
+            continue
+        value = latest.get(key)
+        value = history[-1] if value is None else float(value)
+        if tag == "s":
+            shown = _fmt_seconds(value)
+        elif tag == "bytes":
+            shown = _fmt_bytes(value)
+        elif tag == "ratio":
+            shown = f"{100.0 * value:.1f}%"
+        else:
+            shown = f"{value:.0f}"
+        trend = sparkline(history, width=width)
+        lines.append(
+            f"  {label.ljust(label_w)}  {trend.ljust(width)}  {shown}"
+        )
+    return "\n".join(lines)

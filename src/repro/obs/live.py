@@ -1,0 +1,293 @@
+"""Flight recorder — a bounded, always-on window into a running process.
+
+The post-hoc observability layer answers "what did that run do" after the
+run returns.  A long-lived service needs the *live* question: "what was the
+process doing when it got slow, just now?"  The
+:class:`FlightRecorder` answers it with a classic flight-recorder design:
+
+* it **subscribes** to a :class:`~repro.obs.trace.Tracer` (span closes) and
+  a :class:`~repro.obs.metrics.MetricsRegistry` (every counter/gauge/
+  histogram update) through their public subscription hooks — producers
+  keep writing to the same instruments they always did;
+* events land in a **bounded ring buffer** (``collections.deque`` with
+  ``maxlen``): appends are O(1) and lock-held time is constant, so the
+  recorder's overhead is flat no matter how long the process runs;
+* overflow **drops the oldest** event and the drop is *accounted*, both on
+  the recorder (:attr:`dropped`) and as the ``sfft.flight.dropped`` counter
+  in the attached registry — silent loss is the one thing a flight
+  recorder must not do;
+* :meth:`dump` produces a schema-valid ``repro.run/1`` record of the last
+  ``window_s`` seconds **at any moment**, mid-stream, and
+  :meth:`chrome_trace_events` the matching Chrome trace — the artifacts
+  the rest of the tooling already understands.
+
+Re-entrancy: the dropped-counter increment happens *outside* the recorder
+lock, and the recorder ignores its own ``sfft.flight.*`` bookkeeping
+metrics, so recording can never recurse into itself (the registry's
+notify guard covers the metric-callback path, this module covers the
+span path).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ParameterError
+from .export import RUN_RECORD_SCHEMA
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer, monotonic
+
+__all__ = ["FlightEvent", "FlightRecorder", "DEFAULT_FLIGHT_CAPACITY"]
+
+#: Default ring capacity — enough for several seconds of a busy executor
+#: run (each shard contributes a handful of spans and metric updates).
+DEFAULT_FLIGHT_CAPACITY = 4096
+
+#: Metric-name prefix of the recorder's own bookkeeping; never recorded.
+_SELF_PREFIX = "sfft.flight."
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded occurrence: a span close or a metric update.
+
+    ``ts_s`` is the recorder clock (:func:`~repro.obs.trace.monotonic`) at
+    record time — the common timebase :meth:`FlightRecorder.dump` windows
+    on.  ``payload`` carries the span fields or the metric update.
+    """
+
+    kind: str  # "span" | "metric"
+    ts_s: float
+    name: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of recent spans and metric updates.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained; the oldest is dropped (and counted) when
+        a new event would exceed it.
+    clock:
+        Injectable timestamp source (tests pass a fake; production uses
+        :func:`~repro.obs.trace.monotonic`).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_FLIGHT_CAPACITY,
+        *,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque[FlightEvent] = deque(maxlen=self.capacity)
+        self._dropped = 0
+        self._registry: MetricsRegistry | None = None
+        self._unsubscribers: list[Callable[[], None]] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> "FlightRecorder":
+        """Subscribe to span closes and/or metric updates; returns self.
+
+        May be called more than once to attach additional sources.  The
+        last attached registry also receives the ``sfft.flight.dropped``
+        counter.
+        """
+        if tracer is not None:
+            self._unsubscribers.append(tracer.subscribe(self.record_span))
+        if registry is not None:
+            self._registry = registry
+            self._unsubscribers.append(registry.subscribe(self.record_metric))
+        return self
+
+    def detach(self) -> None:
+        """Undo every subscription :meth:`attach` made."""
+        unsubs, self._unsubscribers = self._unsubscribers, []
+        for unsub in unsubs:
+            unsub()
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.detach()
+
+    # -- recording ---------------------------------------------------------
+
+    def _append(self, event: FlightEvent) -> None:
+        with self._lock:
+            overflow = len(self._ring) == self.capacity
+            self._ring.append(event)
+            if overflow:
+                self._dropped += 1
+        # Outside the recorder lock: the counter's notify fan-out may call
+        # straight back into record_metric on this thread.
+        if overflow and self._registry is not None:
+            self._registry.counter("sfft.flight.dropped").inc()
+
+    def record_span(self, span: Span) -> None:
+        """Tracer subscription target: record one closed span."""
+        self._append(FlightEvent(
+            kind="span",
+            ts_s=self._clock(),
+            name=span.name,
+            payload={
+                "category": span.category,
+                "track": span.track,
+                "start_s": span.start_s,
+                "duration_s": span.duration_s,
+                "depth": span.depth,
+                "attrs": dict(span.attrs),
+            },
+        ))
+
+    def record_metric(self, name: str, kind: str, value: float) -> None:
+        """Registry subscription target: record one instrument update."""
+        if name.startswith(_SELF_PREFIX):
+            return  # own bookkeeping; recording it would feed back
+        self._append(FlightEvent(
+            kind="metric",
+            ts_s=self._clock(),
+            name=name,
+            payload={"metric_kind": kind, "value": float(value)},
+        ))
+
+    # -- state -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to overflow since construction (or :meth:`clear`)."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        """Empty the ring and reset the drop count."""
+        with self._lock:
+            self._ring.clear()
+            self._dropped = 0
+
+    def events(self, window_s: float | None = None) -> list[FlightEvent]:
+        """Buffered events, oldest first; optionally only the last window.
+
+        ``window_s=None`` returns everything retained; otherwise events
+        whose record timestamp is within ``window_s`` seconds of now.
+        """
+        if window_s is not None and window_s < 0:
+            raise ParameterError(f"window_s must be >= 0, got {window_s}")
+        with self._lock:
+            events = list(self._ring)
+        if window_s is None:
+            return events
+        horizon = self._clock() - window_s
+        return [ev for ev in events if ev.ts_s >= horizon]
+
+    # -- export ------------------------------------------------------------
+
+    @staticmethod
+    def _metrics_state(events: list[FlightEvent]) -> dict[str, dict[str, Any]]:
+        """Last-value / aggregate reconstruction of the windowed metrics.
+
+        Counters and gauges keep their most recent value (counter updates
+        carry the post-increment running total, so "last" is "current");
+        histogram updates are single samples and aggregate over the
+        window.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for ev in events:
+            if ev.kind != "metric":
+                continue
+            kind = str(ev.payload.get("metric_kind", "gauge"))
+            value = float(ev.payload.get("value", 0.0))
+            if kind == "histogram":
+                state = out.setdefault(
+                    ev.name,
+                    {"kind": kind, "count": 0, "sum": 0.0,
+                     "min": value, "max": value},
+                )
+                state["count"] = int(state["count"]) + 1
+                state["sum"] = float(state["sum"]) + value
+                state["min"] = min(float(state["min"]), value)
+                state["max"] = max(float(state["max"]), value)
+            else:
+                out[ev.name] = {"kind": kind, "value": value}
+        return out
+
+    def dump(
+        self,
+        window_s: float | None = None,
+        *,
+        name: str = "flight",
+    ) -> dict[str, Any]:
+        """A schema-valid ``repro.run/1`` snapshot of the recent window.
+
+        Safe to call at any moment, from any thread, while recording
+        continues.  ``spans`` are the windowed span closes; ``metrics``
+        the reconstructed instrument states; ``params`` document the
+        recorder itself (capacity, drops, window).
+        """
+        events = self.events(window_s)
+        spans = [
+            {
+                "name": ev.name,
+                "category": str(ev.payload.get("category", "step")),
+                "track": str(ev.payload.get("track", "cpu")),
+                "start_s": float(ev.payload.get("start_s", 0.0)),
+                "duration_s": float(ev.payload.get("duration_s", 0.0)),
+            }
+            for ev in events
+            if ev.kind == "span"
+        ]
+        return {
+            "schema": RUN_RECORD_SCHEMA,
+            "name": str(name),
+            "params": {
+                "capacity": self.capacity,
+                "window_s": window_s,
+                "events": len(events),
+                "dropped": self.dropped,
+            },
+            "metrics": self._metrics_state(events),
+            "spans": spans,
+        }
+
+    def chrome_trace_events(
+        self, window_s: float | None = None
+    ) -> list[dict[str, Any]]:
+        """Chrome ``trace_event`` dicts of the windowed span closes.
+
+        Rebuilds a throwaway :class:`~repro.obs.trace.Tracer` from the
+        buffered spans so track/tid assignment matches a live trace's.
+        """
+        replay = Tracer(clock=self._clock)
+        for ev in self.events(window_s):
+            if ev.kind != "span":
+                continue
+            replay.add_span(
+                ev.name,
+                start_s=float(ev.payload.get("start_s", 0.0)),
+                duration_s=float(ev.payload.get("duration_s", 0.0)),
+                category=str(ev.payload.get("category", "step")),
+                track=str(ev.payload.get("track", "cpu")),
+                depth=int(ev.payload.get("depth", 0)),
+                attrs=dict(ev.payload.get("attrs", {})),
+            )
+        return replay.chrome_trace_events()

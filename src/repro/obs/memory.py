@@ -1,0 +1,151 @@
+"""Memory accounting — the bytes half of the runtime telemetry.
+
+The sFFT literature (empirical survey, aliasing-filter study) stresses that
+runtime and memory trade off against each other across ``(n, k)`` regimes;
+until now the repo measured wall time in detail and memory not at all.
+This module closes that gap from the observability side:
+
+* :func:`publish_plan_cache_memory` — reads a plan cache's ``nbytes()`` /
+  ``memory_breakdown()`` (duck-typed; :class:`~repro.core.plan_cache.
+  PlanCache` implements both) and publishes the ``sfft.plan_cache.bytes``
+  and ``sfft.plan_cache.entries`` gauges;
+* :class:`MemorySampler` — a ``tracemalloc``-backed sampler that publishes
+  current and peak traced allocation as gauges, each sample timestamped by
+  a ``sfft.mem.sample_ts_s`` gauge on the :func:`~repro.obs.trace.
+  monotonic` timebase, either one-shot (:meth:`~MemorySampler.sample`) or
+  on a daemon thread (:meth:`~MemorySampler.start` /
+  :meth:`~MemorySampler.stop`).
+
+Everything here is duck-typed against ``core`` objects on purpose: ``obs``
+must stay importable (and strictly typed) without dragging the numeric
+stack in, and ``core`` already depends on ``obs`` for its instruments —
+the dependency may not point both ways.
+
+Metric names (all gauges, bytes unless suffixed otherwise):
+
+=================================  =======================================
+``sfft.plan_cache.bytes``          resident plan + workspace footprint
+``sfft.plan_cache.entries``        resident plan count
+``sfft.mem.traced_bytes``          tracemalloc current traced allocation
+``sfft.mem.traced_peak_bytes``     tracemalloc peak since sampler start
+``sfft.mem.sample_ts_s``           monotonic timestamp of the last sample
+=================================  =======================================
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+from typing import Any
+
+from ..errors import ParameterError
+from .metrics import MetricsRegistry, global_registry
+from .trace import monotonic
+
+__all__ = ["MemorySampler", "publish_plan_cache_memory"]
+
+
+def publish_plan_cache_memory(
+    cache: Any, registry: MetricsRegistry | None = None
+) -> int:
+    """Publish a plan cache's resident footprint; returns the byte total.
+
+    ``cache`` needs ``nbytes() -> int`` and ``__len__`` (the
+    :class:`~repro.core.plan_cache.PlanCache` interface).  Writes the
+    ``sfft.plan_cache.bytes`` and ``sfft.plan_cache.entries`` gauges on
+    ``registry`` (default: the global registry).
+    """
+    reg = registry if registry is not None else global_registry()
+    total = int(cache.nbytes())
+    reg.gauge("sfft.plan_cache.bytes").set(total)
+    reg.gauge("sfft.plan_cache.entries").set(len(cache))
+    return total
+
+
+class MemorySampler:
+    """Periodic ``tracemalloc`` snapshots as monotonic-timestamped gauges.
+
+    One-shot use::
+
+        sampler = MemorySampler(registry)
+        sampler.sample()          # gauges updated once
+
+    Continuous use::
+
+        sampler = MemorySampler(registry, interval_s=0.25)
+        sampler.start()           # daemon thread; samples every interval
+        ...
+        sampler.stop()            # final sample, thread joined
+
+    The sampler starts ``tracemalloc`` if it is not already tracing, and
+    only stops it on :meth:`stop` if it was the one that started it (so it
+    composes with an outer profiler or test harness that traces too).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        interval_s: float = 0.25,
+    ) -> None:
+        if interval_s <= 0:
+            raise ParameterError(
+                f"interval_s must be > 0, got {interval_s}"
+            )
+        self._registry = registry if registry is not None else global_registry()
+        self.interval_s = float(interval_s)
+        self._started_tracing = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self) -> tuple[int, int]:
+        """Take one sample; returns ``(current_bytes, peak_bytes)``.
+
+        Starts ``tracemalloc`` on first use if nothing else did.
+        """
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        current, peak = tracemalloc.get_traced_memory()
+        reg = self._registry
+        reg.gauge("sfft.mem.traced_bytes").set(current)
+        reg.gauge("sfft.mem.traced_peak_bytes").set(peak)
+        reg.gauge("sfft.mem.sample_ts_s").set(monotonic())
+        return int(current), int(peak)
+
+    # -- daemon loop -------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def start(self) -> "MemorySampler":
+        """Begin periodic sampling on a daemon thread; returns self."""
+        if self._thread is not None:
+            raise ParameterError("sampler is already running")
+        self.sample()  # gauges exist from the first instant
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-mem-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Final sample, stop the thread, release tracing if we own it."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout)
+        self.sample()
+        if self._started_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_tracing = False
+
+    def __enter__(self) -> "MemorySampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -21,7 +21,11 @@ Metric *classes* carry their own tolerances because their noise differs:
 * ``wall`` — host wall-clock span totals (noisy; generous threshold);
 * ``modeled`` — simulated-device counters and modeled row values
   (deterministic; tight threshold, safe to compare across machines);
-* ``accuracy`` — error metrics (seeded, nearly deterministic).
+* ``accuracy`` — error metrics (seeded, nearly deterministic);
+* ``memory`` — byte-count gauges (``*.bytes`` / ``*_bytes`` outside the
+  deterministic ``cusim.*`` family): allocator-dependent but far steadier
+  than wall clocks, so they get a middling threshold and a page-sized
+  absolute floor.
 """
 
 from __future__ import annotations
@@ -59,7 +63,7 @@ BASELINE_SCHEMA = "repro.baseline/1"
 TRAJECTORY_SCHEMA = "repro.trajectory/1"
 
 #: Metric classes the gate distinguishes (each with its own tolerance).
-METRIC_CLASSES = ("wall", "modeled", "accuracy")
+METRIC_CLASSES = ("wall", "modeled", "accuracy", "memory")
 
 #: Statuses a single metric check can land on.  Only ``regression`` fails
 #: the gate; ``new`` / ``missing`` report coverage drift without failing.
@@ -67,13 +71,15 @@ CHECK_STATUSES = ("ok", "regression", "improvement", "new", "missing")
 
 
 def _default_thresholds() -> dict[str, float]:
-    return {"wall": 0.30, "modeled": 0.05, "accuracy": 0.50}
+    return {"wall": 0.30, "modeled": 0.05, "accuracy": 0.50, "memory": 0.25}
 
 
 def _default_min_abs() -> dict[str, float]:
     # wall: ignore sub-millisecond jitter outright; modeled/accuracy are
-    # deterministic so the floor only absorbs float formatting noise.
-    return {"wall": 1e-3, "modeled": 1e-9, "accuracy": 1e-12}
+    # deterministic so the floor only absorbs float formatting noise;
+    # memory: one 4 KiB page absorbs allocator rounding.
+    return {"wall": 1e-3, "modeled": 1e-9, "accuracy": 1e-12,
+            "memory": 4096.0}
 
 
 @dataclass(frozen=True)
@@ -233,7 +239,11 @@ def extract_metrics(record: Mapping) -> dict[str, tuple[str, float]]:
         if "error" in lowered or "l1" in lowered:
             out[mname] = ("accuracy", float(value))
         elif mname.startswith("cusim."):
+            # Includes cusim.*_bytes: modeled wire traffic stays in the
+            # deterministic class committed baselines already use.
             out[mname] = ("modeled", float(value))
+        elif lowered.endswith("_bytes") or lowered.endswith(".bytes"):
+            out[mname] = ("memory", float(value))
 
     # Demo-style scalar results.
     for rname, value in (record.get("results") or {}).items():
@@ -244,6 +254,8 @@ def extract_metrics(record: Mapping) -> dict[str, tuple[str, float]]:
             klass = "accuracy"
         elif "modeled" in lowered:
             klass = "modeled"
+        elif lowered.endswith("_bytes"):
+            klass = "memory"
         elif lowered.endswith("_s") or "wall" in lowered:
             klass = "wall"
         else:

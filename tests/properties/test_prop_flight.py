@@ -1,0 +1,82 @@
+"""Property tests: the flight recorder's bounds and accounting are exact.
+
+For *any* interleaving of span closes and metric updates and *any*
+capacity: the ring never exceeds capacity, the drop count equals exactly
+the events that no longer fit, and ``dump()`` taken mid-stream is always
+a schema-valid ``repro.run/1`` record.  These are the invariants the
+always-on contract rests on — a recorder that can grow without bound or
+lose events silently is worse than no recorder.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    validate_run_record,
+)
+
+# One recorded occurrence: a span close or one instrument update.
+_EVENTS = st.lists(
+    st.tuples(
+        st.sampled_from(["span", "counter", "gauge", "histogram"]),
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+def _feed(tracer, registry, kind, value):
+    if kind == "span":
+        tracer.add_span("step", start_s=0.0, duration_s=value)
+    elif kind == "counter":
+        registry.counter("sfft.loops").inc()
+    elif kind == "gauge":
+        registry.gauge("sfft.plan_cache.bytes").set(value)
+    else:
+        registry.histogram("sfft.executor.shard_wall_s").observe(value)
+
+
+@given(events=_EVENTS, capacity=st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_ring_bound_and_drop_accounting_are_exact(events, capacity):
+    tracer, registry = Tracer(), MetricsRegistry()
+    with FlightRecorder(capacity=capacity).attach(
+        tracer=tracer, registry=registry
+    ) as rec:
+        for kind, value in events:
+            _feed(tracer, registry, kind, value)
+    assert len(rec) == min(len(events), capacity)
+    assert rec.dropped == max(0, len(events) - capacity)
+    retained = rec.events()
+    assert len(retained) == len(rec)
+    # Oldest-first order, and only the newest events survive overflow.
+    assert [ev.ts_s for ev in retained] == sorted(
+        ev.ts_s for ev in retained
+    )
+
+
+@given(
+    events=_EVENTS,
+    capacity=st.integers(min_value=1, max_value=16),
+    dump_at=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_dump_is_schema_valid_at_any_moment(events, capacity, dump_at):
+    tracer, registry = Tracer(), MetricsRegistry()
+    with FlightRecorder(capacity=capacity).attach(
+        tracer=tracer, registry=registry
+    ) as rec:
+        for i, (kind, value) in enumerate(events):
+            if i == dump_at:
+                mid = rec.dump()
+                assert validate_run_record(mid) == []
+            _feed(tracer, registry, kind, value)
+        final = rec.dump()
+    assert validate_run_record(final) == []
+    assert final["params"]["events"] == len(rec)
+    assert final["params"]["dropped"] == rec.dropped
+    spans_fed = sum(1 for kind, _ in events if kind == "span")
+    assert len(final["spans"]) <= min(spans_fed, capacity)

@@ -1,0 +1,215 @@
+"""Unit tests for the streaming export surfaces.
+
+Prometheus text exposition, ``repro.telemetry/1`` heartbeats (maker,
+validator, flusher), the crash-safe append primitive they share, and the
+``python -m repro top`` dashboard renderer.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    TELEMETRY_SCHEMA,
+    MetricsRegistry,
+    TelemetryFlusher,
+    dashboard_sample,
+    make_telemetry_record,
+    prometheus_name,
+    render_dashboard,
+    render_prometheus,
+    validate_telemetry_record,
+)
+from repro.obs.export import atomic_append_text
+
+
+def _loaded_registry():
+    reg = MetricsRegistry()
+    reg.counter("sfft.plan_cache.hit").inc(3)
+    reg.gauge("sfft.plan_cache.bytes").set(4096.0)
+    reg.histogram("sfft.executor.shard_wall_s").observe_many(
+        [0.01, 0.02, 0.03, 0.04]
+    )
+    return reg
+
+
+class TestAtomicAppend:
+    def test_creates_then_appends(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_append_text(path, "one\n")
+        atomic_append_text(path, "two\n")
+        with open(path) as fh:
+            assert fh.read() == "one\ntwo\n"
+
+    def test_never_leaves_temp_files(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_append_text(path, "line\n")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestPrometheusRendering:
+    def test_name_mapping(self):
+        assert prometheus_name("sfft.plan_cache.bytes") \
+            == "sfft_plan_cache_bytes"
+        assert prometheus_name("my-series.x") == "my_series_x"
+
+    def test_counter_gets_total_suffix(self):
+        text = render_prometheus(_loaded_registry())
+        assert "# TYPE sfft_plan_cache_hit_total counter" in text
+        assert "sfft_plan_cache_hit_total 3.0" in text
+
+    def test_gauge_rendered_unset_gauge_skipped(self):
+        reg = _loaded_registry()
+        reg.gauge("sfft.mem.traced_bytes")  # created but never set
+        text = render_prometheus(reg)
+        assert "sfft_plan_cache_bytes 4096.0" in text
+        assert "traced_bytes" not in text
+
+    def test_histogram_renders_as_summary(self):
+        text = render_prometheus(_loaded_registry())
+        assert "# TYPE sfft_executor_shard_wall_s summary" in text
+        assert 'sfft_executor_shard_wall_s{quantile="0.5"}' in text
+        assert 'sfft_executor_shard_wall_s{quantile="0.99"}' in text
+        assert "sfft_executor_shard_wall_s_count 4.0" in text
+        assert "sfft_executor_shard_wall_s_sum 0.1" in text
+
+    def test_ends_with_newline_even_when_empty(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+        assert render_prometheus(_loaded_registry()).endswith("\n")
+
+
+class TestTelemetryRecords:
+    def test_round_trip_validates(self):
+        record = make_telemetry_record(
+            _loaded_registry(), seq=0, events=5, dropped=0
+        )
+        assert record["schema"] == TELEMETRY_SCHEMA
+        assert validate_telemetry_record(record) == []
+        assert validate_telemetry_record(json.loads(json.dumps(record))) == []
+
+    @pytest.mark.parametrize("patch,field", [
+        ({"schema": "repro.run/1"}, "schema"),
+        ({"seq": -1}, "seq"),
+        ({"seq": True}, "seq"),
+        ({"ts_s": -0.5}, "ts_s"),
+        ({"metrics": []}, "metrics"),
+        ({"events": -2}, "events"),
+        ({"dropped": 1.5}, "dropped"),
+    ])
+    def test_invalid_records_name_the_field(self, patch, field):
+        record = make_telemetry_record(MetricsRegistry(), seq=0,
+                                       events=0, dropped=0)
+        record.update(patch)
+        problems = validate_telemetry_record(record)
+        assert problems and any(field in p for p in problems)
+
+    def test_metric_states_need_a_kind(self):
+        record = make_telemetry_record(MetricsRegistry(), seq=0)
+        record["metrics"] = {"sfft.loops": {"value": 1.0}}
+        assert any("kind" in p for p in validate_telemetry_record(record))
+
+    def test_non_dict_rejected(self):
+        assert validate_telemetry_record([1, 2]) != []
+
+
+class FakeRecorder:
+    def __init__(self, events=7, dropped=2):
+        self._events, self.dropped = events, dropped
+
+    def __len__(self):
+        return self._events
+
+
+class TestTelemetryFlusher:
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ParameterError):
+            TelemetryFlusher(str(tmp_path / "t.jsonl"), interval_s=0)
+
+    def test_flush_now_appends_one_valid_line(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        flusher = TelemetryFlusher(path, _loaded_registry())
+        record = flusher.flush_now()
+        assert validate_telemetry_record(record) == []
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == json.loads(
+            json.dumps(record)
+        )
+
+    def test_sequence_numbers_are_monotonic(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        flusher = TelemetryFlusher(path, MetricsRegistry())
+        for _ in range(3):
+            flusher.flush_now()
+        with open(path) as fh:
+            seqs = [json.loads(line)["seq"] for line in fh]
+        assert seqs == [0, 1, 2]
+        assert flusher.seq == 3
+
+    def test_recorder_annotates_records(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        flusher = TelemetryFlusher(
+            path, MetricsRegistry(), recorder=FakeRecorder(7, 2)
+        )
+        record = flusher.flush_now()
+        assert record["events"] == 7 and record["dropped"] == 2
+
+    def test_start_stop_bracket_with_records(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TelemetryFlusher(path, MetricsRegistry(), interval_s=60.0):
+            pass  # first flush on start, final flush on stop
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert validate_telemetry_record(json.loads(line)) == []
+
+    def test_double_start_rejected(self, tmp_path):
+        flusher = TelemetryFlusher(str(tmp_path / "t.jsonl"),
+                                   MetricsRegistry(), interval_s=60.0)
+        flusher.start()
+        try:
+            with pytest.raises(ParameterError):
+                flusher.start()
+        finally:
+            flusher.stop()
+
+
+class TestDashboard:
+    def test_sample_reads_none_before_traffic(self):
+        sample = dashboard_sample(MetricsRegistry())
+        assert sample["queue_wait_p50_s"] is None
+        assert sample["plan_cache_bytes"] is None
+        assert sample["ts_s"] >= 0
+
+    def test_hit_rate_derived_from_counters_when_gauge_missing(self):
+        reg = MetricsRegistry()
+        reg.counter("sfft.plan_cache.hit").inc(3)
+        reg.counter("sfft.plan_cache.miss").inc(1)
+        assert dashboard_sample(reg)["plan_cache_hit_rate"] \
+            == pytest.approx(0.75)
+
+    def test_hit_rate_gauge_wins_over_derivation(self):
+        reg = MetricsRegistry()
+        reg.counter("sfft.plan_cache.hit").inc(1)
+        reg.counter("sfft.plan_cache.miss").inc(1)
+        reg.gauge("sfft.plan_cache.hit_rate").set(0.9)
+        assert dashboard_sample(reg)["plan_cache_hit_rate"] == 0.9
+
+    def test_render_empty_history(self):
+        frame = render_dashboard([], title="live telemetry")
+        assert "live telemetry" in frame
+        assert "(no data)" in frame
+
+    def test_render_shows_values_and_sparklines(self):
+        reg = _loaded_registry()
+        reg.gauge("sfft.plan_cache.hit_rate").set(0.5)
+        samples = [dashboard_sample(reg) for _ in range(3)]
+        frame = render_dashboard(samples, width=8)
+        assert "(3 sample(s))" in frame
+        assert "plan cache bytes" in frame and "4.0 KiB" in frame
+        assert "50.0%" in frame
+        # Series never observed still render, honestly empty.
+        assert "(no data)" in frame

@@ -1,0 +1,198 @@
+"""Unit tests for the flight recorder (bounded live telemetry ring)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightEvent,
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    validate_run_record,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def tick(self, dt):
+        self.now += dt
+
+    def __call__(self):
+        return self.now
+
+
+class TestWiring:
+    def test_span_closes_are_recorded(self):
+        tracer = Tracer(clock=FakeClock())
+        rec = FlightRecorder().attach(tracer=tracer)
+        with tracer.span("perm_filter", category="sfft"):
+            pass
+        tracer.add_span("bucket_fft", start_s=0.0, duration_s=0.5)
+        events = rec.events()
+        assert [ev.kind for ev in events] == ["span", "span"]
+        assert events[0].name == "perm_filter"
+        assert events[1].payload["duration_s"] == 0.5
+
+    def test_metric_updates_are_recorded(self):
+        reg = MetricsRegistry()
+        rec = FlightRecorder().attach(registry=reg)
+        reg.counter("sfft.loops").inc(3)
+        reg.gauge("sfft.plan_cache.bytes").set(1024.0)
+        reg.histogram("sfft.executor.shard_wall_s").observe(0.25)
+        kinds = [ev.payload["metric_kind"] for ev in rec.events()]
+        assert kinds == ["counter", "gauge", "histogram"]
+        # Counter updates carry the post-increment running total.
+        assert rec.events()[0].payload["value"] == 3.0
+
+    def test_detach_stops_recording(self):
+        reg = MetricsRegistry()
+        rec = FlightRecorder().attach(registry=reg)
+        reg.counter("sfft.loops").inc()
+        rec.detach()
+        reg.counter("sfft.loops").inc()
+        assert len(rec) == 1
+
+    def test_context_manager_detaches(self):
+        tracer = Tracer(clock=FakeClock())
+        with FlightRecorder().attach(tracer=tracer) as rec:
+            tracer.add_span("a", start_s=0.0, duration_s=0.1)
+        tracer.add_span("b", start_s=0.1, duration_s=0.1)
+        assert [ev.name for ev in rec.events()] == ["a"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ParameterError):
+            FlightRecorder(capacity=0)
+        assert FlightRecorder().capacity == DEFAULT_FLIGHT_CAPACITY
+
+
+class TestBoundedRing:
+    def test_overflow_drops_oldest_and_accounts(self):
+        reg = MetricsRegistry()
+        rec = FlightRecorder(capacity=3).attach(registry=reg)
+        for i in range(5):
+            reg.gauge("sfft.loops").set(float(i))
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [ev.payload["value"] for ev in rec.events()] == [2.0, 3.0, 4.0]
+        assert reg.counter("sfft.flight.dropped").value == 2
+
+    def test_own_bookkeeping_is_never_recorded(self):
+        # The dropped counter lives in the attached registry; recording its
+        # own updates would add an event per drop and feed back forever.
+        reg = MetricsRegistry()
+        rec = FlightRecorder(capacity=2).attach(registry=reg)
+        for i in range(10):
+            reg.gauge("sfft.loops").set(float(i))
+        assert all(
+            not ev.name.startswith("sfft.flight.") for ev in rec.events()
+        )
+        assert rec.dropped == 8
+
+    def test_clear_resets_ring_and_drop_count(self):
+        reg = MetricsRegistry()
+        rec = FlightRecorder(capacity=1).attach(registry=reg)
+        reg.gauge("sfft.loops").set(1.0)
+        reg.gauge("sfft.loops").set(2.0)
+        assert rec.dropped == 1
+        rec.clear()
+        assert len(rec) == 0 and rec.dropped == 0
+
+    def test_concurrent_appends_stay_bounded(self):
+        reg = MetricsRegistry()
+        rec = FlightRecorder(capacity=64).attach(registry=reg)
+        gauge = reg.gauge("sfft.loops")
+
+        def spin():
+            for i in range(200):
+                gauge.set(float(i))
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rec) == 64
+        assert rec.dropped == 4 * 200 - 64
+
+
+class TestWindowing:
+    def test_events_window_filters_on_record_time(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        rec = FlightRecorder(clock=clock).attach(registry=reg)
+        reg.gauge("sfft.loops").set(1.0)    # ts 0.0
+        clock.tick(10.0)
+        reg.gauge("sfft.loops").set(2.0)    # ts 10.0
+        clock.tick(1.0)                      # now 11.0
+        assert len(rec.events()) == 2
+        assert [ev.payload["value"] for ev in rec.events(5.0)] == [2.0]
+        assert rec.events(0.0) == []
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ParameterError):
+            FlightRecorder().events(-1.0)
+
+
+class TestDump:
+    def _loaded(self, capacity=16):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        reg = MetricsRegistry()
+        rec = FlightRecorder(capacity=capacity, clock=clock).attach(
+            tracer=tracer, registry=reg
+        )
+        tracer.add_span("perm_filter", start_s=0.0, duration_s=0.01,
+                        category="sfft")
+        reg.counter("sfft.loops").inc(2)
+        reg.histogram("sfft.executor.shard_wall_s").observe_many(
+            [0.1, 0.3, 0.2]
+        )
+        return rec
+
+    def test_dump_is_schema_valid_and_json_serialisable(self):
+        snapshot = self._loaded().dump()
+        assert validate_run_record(snapshot) == []
+        json.dumps(snapshot)  # no exotic types leak through
+
+    def test_dump_params_document_the_recorder(self):
+        rec = self._loaded(capacity=16)
+        snapshot = rec.dump(name="mid-stream")
+        assert snapshot["name"] == "mid-stream"
+        assert snapshot["params"]["capacity"] == 16
+        assert snapshot["params"]["events"] == 5
+        assert snapshot["params"]["dropped"] == 0
+
+    def test_dump_reconstructs_metric_state(self):
+        metrics = self._loaded().dump()["metrics"]
+        assert metrics["sfft.loops"] == {"kind": "counter", "value": 2.0}
+        hist = metrics["sfft.executor.shard_wall_s"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.6)
+        assert hist["min"] == 0.1 and hist["max"] == 0.3
+
+    def test_dump_spans_carry_the_closed_spans(self):
+        spans = self._loaded().dump()["spans"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "perm_filter"
+        assert spans[0]["category"] == "sfft"
+        assert spans[0]["duration_s"] == pytest.approx(0.01)
+
+    def test_chrome_trace_events_replay_buffered_spans(self):
+        events = self._loaded().chrome_trace_events()
+        complete = [ev for ev in events if ev.get("ph") == "X"]
+        assert [ev["name"] for ev in complete] == ["perm_filter"]
+        assert complete[0]["dur"] == pytest.approx(0.01 * 1e6)
+
+
+class TestFlightEvent:
+    def test_is_frozen(self):
+        ev = FlightEvent(kind="metric", ts_s=0.0, name="sfft.loops")
+        with pytest.raises(AttributeError):
+            ev.name = "other"

@@ -20,7 +20,8 @@ class TestHitMiss:
         p2 = cache.get_or_make(N, K, seed=1)
         assert p1 is p2
         assert cache.stats() == {
-            "hits": 1, "misses": 1, "size": 1, "capacity": DEFAULT_CAPACITY,
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1,
+            "capacity": DEFAULT_CAPACITY,
         }
 
     def test_counters_reach_metrics_registry(self):
@@ -90,6 +91,25 @@ class TestEviction:
         assert cache.stats()["hits"] == 2
         assert cache.stats()["misses"] == 4
 
+    def test_eviction_counter_and_metric(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_make(N, K, seed=1)
+        cache.get_or_make(N, K, seed=2)
+        assert cache.stats()["evictions"] == 0
+        cache.get_or_make(N, K, seed=3)   # displaces seed=1
+        cache.get_or_make(N, K, seed=4)   # displaces seed=2
+        assert cache.stats()["evictions"] == 2
+        reg = global_registry()
+        assert reg.counter("sfft.plan_cache.evictions").value == 2
+
+    def test_hit_rate_gauge_derived_from_traffic(self):
+        cache = PlanCache()
+        cache.get_or_make(N, K, seed=1)
+        cache.get_or_make(N, K, seed=1)
+        cache.get_or_make(N, K, seed=1)
+        gauge = global_registry().gauge("sfft.plan_cache.hit_rate")
+        assert gauge.value == pytest.approx(2 / 3)
+
     def test_capacity_validated(self):
         with pytest.raises(ParameterError):
             PlanCache(capacity=0)
@@ -101,6 +121,7 @@ class TestEviction:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0
+        assert cache.stats()["evictions"] == 0
 
 
 class TestGlobalCache:

@@ -106,6 +106,20 @@ class TestExtraction:
         assert "sfft.recovery.hits" not in metrics
         assert "results.recovery_exact" not in metrics
 
+    def test_memory_class_extraction(self):
+        reg = MetricsRegistry()
+        reg.gauge("sfft.plan_cache.bytes").set(4096.0)
+        reg.gauge("cusim.kernel.wire_bytes").set(1024.0)
+        record = make_run_record(
+            "mem", registry=reg, results={"workspace_bytes": 2048},
+        )
+        metrics = extract_metrics(record)
+        assert metrics["sfft.plan_cache.bytes"] == ("memory", 4096.0)
+        assert metrics["results.workspace_bytes"] == ("memory", 2048.0)
+        # Modeled wire traffic keeps the deterministic class committed
+        # baselines already use; the memory class is for measured bytes.
+        assert metrics["cusim.kernel.wire_bytes"] == ("modeled", 1024.0)
+
     def test_rows_parsed_as_modeled(self):
         record = make_run_record(
             "fig5a",
@@ -247,6 +261,34 @@ class TestGate:
         assert any(c.status == "regression" and
                    c.metric == "cusim.timeline.makespan_s"
                    for c in verdict.checks)
+
+    def _mem_record(self, nbytes):
+        reg = MetricsRegistry()
+        reg.gauge("sfft.plan_cache.bytes").set(float(nbytes))
+        return make_run_record("mem", params={"n": 4096}, registry=reg)
+
+    def test_memory_class_noise_band(self):
+        # +20% footprint is inside the 25% memory threshold.
+        base = make_baseline([self._mem_record(1 << 20)])
+        verdict = compare_to_baseline(
+            base, [self._mem_record(1.2 * (1 << 20))]
+        )
+        assert verdict.status == "ok"
+
+    def test_memory_regression_is_named(self):
+        base = make_baseline([self._mem_record(1 << 20)])
+        verdict = compare_to_baseline(
+            base, [self._mem_record(1.5 * (1 << 20))]
+        )
+        assert any(c.status == "regression" and
+                   c.metric == "sfft.plan_cache.bytes"
+                   for c in verdict.checks)
+
+    def test_memory_min_abs_floor_is_one_page(self):
+        # 3x growth that stays under 4 KiB absolute is not a regression.
+        base = make_baseline([self._mem_record(1024)])
+        verdict = compare_to_baseline(base, [self._mem_record(3072)])
+        assert all(c.status != "regression" for c in verdict.checks)
 
     def test_classes_filter(self):
         config = GateConfig(classes=("modeled",))

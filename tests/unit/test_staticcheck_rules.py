@@ -147,6 +147,37 @@ class TestWallclockInCore:
         assert _lint("import time\ntime.sleep(1)\n") == []
 
 
+class TestTelemetryThreadSafety:
+    @pytest.mark.parametrize("stmt", [
+        "x = registry._instruments['sfft.loops']",
+        "tracer._subscribers.append(fn)",
+        "events = list(recorder._ring)",
+        "recorder._ring.clear()",
+    ])
+    def test_internal_access_is_flagged(self, stmt):
+        findings = _lint(f"{stmt}\n")
+        assert _rules(findings) == ["telemetry-thread-safety"]
+        assert "subscription API" in findings[0].message
+
+    def test_public_api_is_clean(self):
+        assert _lint("""
+            unsub = registry.subscribe(recorder.record_metric)
+            registry.counter("sfft.loops").inc()
+            recorder.events(5.0)
+        """) == []
+
+    def test_obs_modules_are_exempt(self):
+        assert _lint("self._ring.append(event)\n",
+                     relpath="obs/live.py") == []
+        assert _lint("subs = list(self._subscribers)\n",
+                     relpath="obs/metrics.py") == []
+
+    def test_suppressible(self):
+        src = ("n = len(recorder._ring)  "
+               "# reprolint: ignore[telemetry-thread-safety]\n")
+        assert lint_source(src, path="a.py", relpath="core/a.py") == []
+
+
 class TestBareValueError:
     def test_raise_valueerror_is_flagged(self):
         findings = _lint('raise ValueError("bad")\n')
@@ -235,6 +266,7 @@ class TestFindingSchema:
         assert set(RULES) == {
             "fft-registry-bypass", "metric-name-family",
             "workspace-mutation", "wallclock-in-core", "bare-valueerror",
+            "telemetry-thread-safety",
         }
         for rule in RULES.values():
             assert rule.summary and rule.rationale
