@@ -16,8 +16,15 @@ import numpy as np
 import pytest
 
 from repro.core import SfftPlan, make_plan
+from repro.errors import ParameterError
 from repro.experiments import run_experiment
-from repro.obs import MetricsRegistry, Tracer, append_trajectory
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    append_trajectory,
+    prune_runs,
+    prune_trajectory,
+)
 from repro.signals import SparseSignal, make_sparse_signal
 
 #: Where run records accumulate (one JSON line per experiment printed).
@@ -30,6 +37,14 @@ BENCH_JSONL = os.environ.get("REPRO_BENCH_JSONL", "BENCH_RUNS.jsonl")
 BENCH_TRAJECTORY = os.environ.get(
     "REPRO_BENCH_TRAJECTORY", "BENCH_TRAJECTORY.json"
 )
+
+#: Opt-in post-session compaction of the append-only artifacts.  Unset or
+#: empty: keep everything (the default — history is an asset).  Any
+#: non-empty value: drop verbatim-duplicate entries after the trajectory
+#: append; a positive integer additionally keeps only the newest N records
+#: per run key (``scripts/bench_gate.py --prune [--prune-keep N]`` is the
+#: manual equivalent).
+BENCH_PRUNE = os.environ.get("REPRO_BENCH_PRUNE", "")
 
 #: Sizes the functional (real wall-clock) benchmarks run at.
 REAL_N = 1 << 18
@@ -122,6 +137,27 @@ def pytest_sessionfinish(session, exitstatus):
         return
     if appended:
         print(f"\n[repro] appended {appended} point(s) to {BENCH_TRAJECTORY}")
+    _maybe_prune()
+
+
+def _maybe_prune() -> None:
+    """Honour REPRO_BENCH_PRUNE: compact the artifacts after the append."""
+    if not BENCH_PRUNE:
+        return
+    keep = int(BENCH_PRUNE) if BENCH_PRUNE.isdigit() else None
+    for label, path, fn in (
+        ("runs", BENCH_JSONL, prune_runs),
+        ("trajectory", BENCH_TRAJECTORY, prune_trajectory),
+    ):
+        if not (path and os.path.exists(path)):
+            continue
+        try:
+            kept, dropped = fn(path, keep_per_key=keep)
+        except (OSError, ValueError, ParameterError) as exc:
+            print(f"\n[repro] {label} not pruned: {exc}")
+            continue
+        if dropped:
+            print(f"\n[repro] pruned {path}: kept {kept}, dropped {dropped}")
 
 
 @pytest.fixture

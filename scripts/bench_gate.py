@@ -18,7 +18,16 @@ Modes:
 * **gate mode** — noise-aware comparison (median vs. baseline median with a
   per-class relative threshold + IQR band + absolute floor; see
   ``docs/observability.md``).  Exits 1 iff a regression is confirmed, with
-  the offending (key, metric) pairs named in the verdict table.
+  the offending (key, metric) pairs named in the verdict table.  On
+  failure the gate also runs regression **attribution**: each confirmed
+  regression gets a ``repro.attrib/1`` record ranking the per-stage span
+  deltas that explain it (with critical-path shares, what-if projections,
+  and the unattributed residual), rendered to stdout and — with
+  ``--attrib PATH`` — written as validated JSONL.
+* **prune mode** (``--prune``) — compact the append-only files instead of
+  gating: drop verbatim-duplicate entries from the runs JSONL and the
+  trajectory, and with ``--prune-keep N`` also superseded entries beyond
+  the newest N per run key.  Exits 0 after printing what was dropped.
 
 Options::
 
@@ -26,6 +35,9 @@ Options::
     --baseline PATH      baseline document         [BENCH_BASELINE.json]
     --trajectory PATH    history file ('' = skip)  [BENCH_TRAJECTORY.json]
     --record             force recording mode (re-snapshot the baseline)
+    --prune              compact runs + trajectory files, then exit
+    --prune-keep N       with --prune: keep only the newest N per run key
+    --attrib PATH        on regression, write repro.attrib/1 JSONL here
     --classes C [C ...]  metric classes to gate on [wall modeled accuracy]
                          (CI uses "modeled accuracy": machine-independent.
                          The batch-engine amortized timings from
@@ -56,12 +68,18 @@ sys.path.insert(0, os.path.join(_ROOT, "src"))
 from repro.obs import (  # noqa: E402
     GateConfig,
     append_trajectory,
+    attribute_verdict,
     compare_to_baseline,
     make_baseline,
+    prune_runs,
+    prune_trajectory,
+    render_attrib_record,
     render_verdict,
+    validate_attrib_record,
     validate_baseline,
     validate_run_record,
 )
+from repro.errors import ParameterError  # noqa: E402
 from repro.obs.regress import METRIC_CLASSES  # noqa: E402
 
 
@@ -75,6 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trajectory", default="BENCH_TRAJECTORY.json")
     parser.add_argument("--record", action="store_true",
                         help="snapshot a fresh baseline instead of gating")
+    parser.add_argument("--prune", action="store_true",
+                        help="compact the runs/trajectory files, then exit")
+    parser.add_argument("--prune-keep", type=int, default=None,
+                        metavar="N",
+                        help="with --prune: newest N records per run key")
+    parser.add_argument("--attrib", default=None, metavar="PATH",
+                        help="on regression, write repro.attrib/1 JSONL here")
     parser.add_argument("--classes", nargs="+", choices=METRIC_CLASSES,
                         default=list(METRIC_CLASSES), metavar="CLASS")
     parser.add_argument("--wall-threshold", type=float, default=None)
@@ -126,11 +151,34 @@ def main(argv: list[str] | None = None) -> int:
     except SystemExit as exc:
         return int(exc.code or 0)
 
+    if args.prune_keep is not None and not args.prune:
+        print("bench_gate: --prune-keep requires --prune", file=sys.stderr)
+        return 2
+
     if not os.path.exists(args.runs):
         print(f"bench_gate: no runs file at {args.runs!r} — run the "
               f"benchmark session first (pytest benchmarks/)",
               file=sys.stderr)
         return 2
+
+    if args.prune:
+        try:
+            kept, dropped = prune_runs(
+                args.runs, keep_per_key=args.prune_keep
+            )
+            print(f"bench_gate: pruned {args.runs}: kept {kept}, "
+                  f"dropped {dropped}")
+            if args.trajectory and os.path.exists(args.trajectory):
+                kept, dropped = prune_trajectory(
+                    args.trajectory, keep_per_key=args.prune_keep
+                )
+                print(f"bench_gate: pruned {args.trajectory}: kept {kept}, "
+                      f"dropped {dropped}")
+        except (OSError, ValueError, ParameterError) as exc:
+            print(f"bench_gate: prune failed: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
     records = _load_records(args.runs)
     if records is None:
         return 2
@@ -187,10 +235,31 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(render_verdict(verdict))
     if verdict.status == "regression":
-        for check in verdict.regressions():
+        attributions = attribute_verdict(baseline, records, verdict)
+        for record in attributions:
+            problems = validate_attrib_record(record)
+            if problems:  # a bug in the attributor, not in the run data
+                print(f"bench_gate: internal: invalid attrib record: "
+                      f"{problems[0]}", file=sys.stderr)
+                return 2
+        if args.attrib:
+            with open(args.attrib, "w", encoding="utf-8") as fh:
+                for record in attributions:
+                    fh.write(json.dumps(record, separators=(",", ":")))
+                    fh.write("\n")
+            print(f"bench_gate: wrote {len(attributions)} attribution "
+                  f"record(s) to {args.attrib}")
+        if not args.as_json:
+            for record in attributions:
+                print()
+                print(render_attrib_record(record))
+        for check, record in zip(verdict.regressions(), attributions):
+            top = record["contributors"][:1]
+            blame = (f"; top contributor {top[0]['metric']} "
+                     f"(delta {top[0]['delta']:+.6g})" if top else "")
             print(f"bench_gate: REGRESSION {check.key} :: {check.metric} "
                   f"({check.base_median:.6g} -> {check.fresh_median:.6g}, "
-                  f"{check.ratio:.2f}x)", file=sys.stderr)
+                  f"{check.ratio:.2f}x){blame}", file=sys.stderr)
         return 1
     print("bench_gate: ok — no confirmed regression")
     return 0

@@ -15,7 +15,10 @@ With no paths, scans the repository root for ``BENCH_*.json`` files and
   ``python -m repro lint --json``); lines declaring
   ``"repro.telemetry/1"`` are validated as streaming-telemetry heartbeats
   (``repro.obs.validate_telemetry_record``, the output of the
-  ``TelemetryFlusher`` / ``python -m repro export --telemetry``); all
+  ``TelemetryFlusher`` / ``python -m repro export --telemetry``); lines
+  declaring ``"repro.attrib/1"`` are validated as regression-attribution
+  records (``repro.obs.validate_attrib_record``, the output of
+  ``python -m repro why --json`` / ``bench_gate.py --attrib``); all
   other lines must be valid ``repro.run/1`` records (see
   ``repro.obs.validate_run_record`` — one schema, shared with the
   library so CI and the writer cannot drift);
@@ -52,9 +55,11 @@ from repro.analysis.staticcheck import (  # noqa: E402
     validate_lint_record,
 )
 from repro.obs import (  # noqa: E402
+    ATTRIB_SCHEMA,
     BASELINE_SCHEMA,
     TELEMETRY_SCHEMA,
     TRAJECTORY_SCHEMA,
+    validate_attrib_record,
     validate_baseline,
     validate_run_record,
     validate_telemetry_record,
@@ -122,6 +127,11 @@ def check_jsonl(path: str) -> list[str]:
             if isinstance(record, dict) \
                     and record.get("schema") == TELEMETRY_SCHEMA:
                 for issue in validate_telemetry_record(record):
+                    problems.append(f"{path}:{lineno}: {issue}")
+                continue
+            if isinstance(record, dict) \
+                    and record.get("schema") == ATTRIB_SCHEMA:
+                for issue in validate_attrib_record(record):
                     problems.append(f"{path}:{lineno}: {issue}")
                 continue
             for issue in validate_run_record(record):

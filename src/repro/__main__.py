@@ -32,6 +32,14 @@ against the baseline, and the per-step self-time attribution of the most
 recent record (``--flame PATH`` additionally writes a flamegraph
 collapsed-stack file).
 
+``python -m repro why`` answers the question ``report`` raises: *why* is
+the run slow?  It computes the critical path of the newest run record
+(per-stage path share + Amdahl what-if projections), attributes any
+confirmed regression against the baseline to the span deltas that explain
+it (``repro.attrib/1`` records; ``--json`` emits them as JSONL), diffs
+two arbitrary records with ``--diff A B``, and writes differential
+collapsed-stack flamegraphs with ``--flame PATH``.
+
 ``python -m repro top`` is the *live* counterpart: it drives a small
 batched workload through the sharded executor on a background thread and
 renders a refreshing ASCII dashboard (queue wait and shard wall
@@ -61,18 +69,28 @@ import numpy as np
 
 from . import make_sparse_signal, sfft
 from .cusim import render_summary, render_timeline
+from .errors import ParameterError
 from .gpu import OPTIMIZED, CusFFT
 from .obs import (
     MetricsRegistry,
     Tracer,
+    attribute_run,
+    attribute_verdict,
     collapsed_stacks,
     compare_to_baseline,
+    critical_path,
+    diff_attrib_record,
+    diff_collapsed_stacks,
     make_run_record,
+    render_attrib_record,
     render_attribution,
+    render_critical_path,
     render_obs_summary,
     render_trajectory_dashboard,
     render_verdict,
+    validate_attrib_record,
     validate_baseline,
+    validate_run_record,
     validate_trajectory,
 )
 
@@ -313,6 +331,19 @@ def report_main(argv: list[str]) -> int:
             baseline_entry=entry,
             title=f"per-step attribution: {key_meta}",
         ))
+        latest_spans = latest.get("spans") or []
+        if latest_spans:
+            sections.append(render_critical_path(
+                critical_path(latest_spans),
+                title=f"critical path: {key_meta}",
+            ))
+        try:
+            summary = attribute_run(baseline, records)
+        except ParameterError:  # latest record has no extractable metrics
+            summary = None
+        if summary is not None:
+            sections.append(render_attrib_record(summary))
+            sections.append("(deeper: python -m repro why [--flame PATH])")
     if not sections:
         print("(no observability artifacts found — run the benchmarks, "
               "then scripts/bench_gate.py)")
@@ -321,6 +352,183 @@ def report_main(argv: list[str]) -> int:
     if args.flame:
         print(f"\ncollapsed stacks written to {args.flame} "
               f"(feed to flamegraph.pl or speedscope)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# why-analysis: `python -m repro why`
+# --------------------------------------------------------------------------
+
+def _build_why_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro why",
+        description="Why is it slow? Critical path, differential profiles, "
+                    "and regression attribution over run records.",
+    )
+    parser.add_argument("--runs", default="BENCH_RUNS.jsonl",
+                        help="run-record JSONL to analyze")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline document (default: "
+                             "$REPRO_BENCH_BASELINE or BENCH_BASELINE.json)")
+    parser.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                        help="compare two record files instead of gating "
+                             "(each: repro.run/1 JSONL or single record; "
+                             "the newest record of each file is used)")
+    parser.add_argument("--top", default=5, type=int, metavar="N",
+                        help="contributors to rank per record (default 5)")
+    parser.add_argument("--what-if", default=2.0, type=float,
+                        dest="what_if", metavar="F",
+                        help="hypothetical per-stage speedup factor for "
+                             "projections (default 2.0)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit repro.attrib/1 records as JSONL")
+    parser.add_argument("--flame", metavar="PATH",
+                        help="write a differential collapsed-stack file "
+                             "(stack base_usec fresh_usec per line)")
+    return parser
+
+
+def _read_record_file(path: str) -> tuple[list[dict] | None, str | None]:
+    """Records from a JSONL file or a single-record JSON file."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        return None, f"error: cannot read {path!r}: {exc}"
+    try:
+        doc = json.loads(text)
+        records = [doc] if isinstance(doc, dict) else doc
+    except json.JSONDecodeError:
+        records = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                return None, f"error: {path}:{lineno}: not JSON ({exc})"
+    if not isinstance(records, list) or not records:
+        return None, f"error: {path!r} holds no run records"
+    for i, record in enumerate(records):
+        problems = validate_run_record(record)
+        if problems:
+            return None, f"error: {path!r} record {i}: {problems[0]}"
+    return records, None
+
+
+def why_main(argv: list[str]) -> int:
+    """``python -m repro why`` — attribution over recorded runs."""
+    parser = _build_why_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    if args.top < 1 or args.what_if <= 0:
+        print("error: --top must be >= 1 and --what-if > 0",
+              file=sys.stderr)
+        return 2
+
+    flame_sides: tuple[list, list] | None = None
+    if args.diff is not None:
+        sides = []
+        for path in args.diff:
+            records, err = _read_record_file(path)
+            if records is None:
+                print(err, file=sys.stderr)
+                return 2
+            sides.append(records[-1])
+        rec_a, rec_b = sides
+        attribs = [diff_attrib_record(
+            rec_a, rec_b, top_n=args.top, what_if_factor=args.what_if,
+        )]
+        fresh_spans = rec_b.get("spans") or []
+        flame_sides = (rec_a.get("spans") or [], fresh_spans)
+    else:
+        if not os.path.exists(args.runs):
+            print(f"error: no runs file at {args.runs!r} — run the "
+                  f"benchmarks (or `python -m repro --json`) first",
+                  file=sys.stderr)
+            return 2
+        records, err = _read_record_file(args.runs)
+        if records is None:
+            print(err, file=sys.stderr)
+            return 2
+
+        baseline = None
+        baseline_path = args.baseline or os.environ.get(
+            "REPRO_BENCH_BASELINE", "BENCH_BASELINE.json"
+        )
+        if os.path.exists(baseline_path):
+            baseline, err = _load_json(baseline_path, "baseline")
+            if baseline is None:
+                print(err, file=sys.stderr)
+                return 2
+            problems = validate_baseline(baseline)
+            if problems:
+                print(f"error: invalid baseline {baseline_path!r}: "
+                      f"{problems[0]}", file=sys.stderr)
+                return 2
+        elif args.baseline is not None:
+            print(f"error: no baseline at {baseline_path!r}",
+                  file=sys.stderr)
+            return 2
+
+        verdict = (compare_to_baseline(baseline, records)
+                   if baseline is not None else None)
+        if verdict is not None and verdict.status == "regression":
+            attribs = attribute_verdict(
+                baseline, records, verdict,
+                top_n=args.top, what_if_factor=args.what_if,
+            )
+        else:
+            attribs = [attribute_run(
+                baseline, records,
+                top_n=args.top, what_if_factor=args.what_if,
+            )]
+        from .obs.regress import run_key
+
+        latest_key = attribs[-1]["key"]
+        same_key = [r for r in records if run_key(r)[0] == latest_key]
+        fresh_spans = (same_key[-1].get("spans") or []) if same_key else []
+        if len(same_key) >= 2:
+            flame_sides = (same_key[0].get("spans") or [], fresh_spans)
+
+    for record in attribs:
+        problems = validate_attrib_record(record)
+        if problems:  # a bug in the attributor, not in the input data
+            print(f"error: internal: invalid attrib record: {problems[0]}",
+                  file=sys.stderr)
+            return 2
+
+    if args.flame:
+        if flame_sides is None:
+            print("error: --flame needs two runs to diff (one more record "
+                  "under the same key, or --diff A B)", file=sys.stderr)
+            return 2
+        lines = diff_collapsed_stacks(*flame_sides)
+        try:
+            with open(args.flame, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.flame!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if args.as_json:
+        for record in attribs:
+            print(json.dumps(record, separators=(",", ":")))
+        return 0
+
+    blocks = [render_attrib_record(record) for record in attribs]
+    if fresh_spans:
+        blocks.append(render_critical_path(
+            critical_path(fresh_spans), what_if_factor=args.what_if,
+        ))
+    print("\n\n".join(blocks))
+    if args.flame:
+        print(f"\ndifferential collapsed stacks written to {args.flame} "
+              f"(feed to flamegraph.pl --negate or difffolded workflows)")
     return 0
 
 
@@ -548,6 +756,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["report"]:
         return report_main(argv[1:])
+    if argv[:1] == ["why"]:
+        return why_main(argv[1:])
     if argv[:1] == ["top"]:
         return top_main(argv[1:])
     if argv[:1] == ["export"]:

@@ -28,6 +28,11 @@ by path relative to the ``repro`` package root (posix separators):
   locks inside ``obs/``; code elsewhere must go through the public
   subscription API (``subscribe()`` / ``record_*`` / the instruments),
   never touch ``_instruments`` / ``_subscribers`` / ``_ring`` directly.
+* ``span-orphan`` — synthetic spans recorded outside ``obs/`` must say
+  which timeline they belong to: an ``add_span(...)`` call without an
+  explicit ``track=`` lands on the default CPU track, where the
+  critical-path engine (:mod:`repro.obs.critical`) will treat it as
+  serial CPU work and misattribute overlap (the PR-7 DAG contract).
 """
 
 from __future__ import annotations
@@ -96,6 +101,15 @@ RULES: dict[str, Rule] = {r.id: r for r in (
         "record_span/record_metric, the instruments) or updates race "
         "and the re-entrancy guard is bypassed.",
     ),
+    Rule(
+        "span-orphan", "error",
+        "add_span() without an explicit track= outside obs/",
+        "Synthetic spans recorded without a track land on the default "
+        "CPU track, where the critical-path engine treats them as serial "
+        "CPU work; every add_span outside obs/ must name its track (and "
+        "parallel producers should carry parent/shard attrs) so the span "
+        "DAG stays reconstructible.",
+    ),
 )}
 
 #: FFT transform attribute names that constitute a registry bypass.
@@ -126,6 +140,8 @@ _EXEMPT = {
     "fft-registry-bypass": ("core/fft_backend.py",),
     "workspace-mutation": ("core/workspace.py",),
     "telemetry-thread-safety": ("obs/",),
+    # obs/ builds tracers and ingests timelines; it owns track semantics.
+    "span-orphan": ("obs/",),
 }
 #: wallclock-in-core only *applies* to these subtrees.
 _WALLCLOCK_SCOPE = ("core/", "gpu/")
@@ -212,6 +228,7 @@ class _Visitor(ast.NodeVisitor):
             self._check_metric(node, chain)
             self._check_clock(node, chain)
             self._check_mutating_method(node, chain)
+            self._check_span_orphan(node, chain)
         self.generic_visit(node)
 
     def _check_fft(self, node: ast.Call, chain: list[str]) -> None:
@@ -256,6 +273,22 @@ class _Visitor(ast.NodeVisitor):
                 f"{offending}() read inside {self.relpath} — use "
                 f"repro.obs.monotonic() so wall timing stays an "
                 f"observability concern",
+            )
+
+    def _check_span_orphan(self, node: ast.Call, chain: list[str]) -> None:
+        if len(chain) < 2 or chain[-1] != "add_span":
+            return
+        keywords = {kw.arg for kw in node.keywords}
+        if None in keywords:
+            # A **kwargs splat may well carry track=; don't guess.
+            return
+        if "track" not in keywords:
+            self._emit(
+                "span-orphan", node,
+                "add_span() without an explicit track= — the span lands "
+                "on the default CPU track and the critical-path engine "
+                "(repro.obs.critical) will misattribute it; name the "
+                "track it belongs to",
             )
 
     def _check_mutating_method(self, node: ast.Call, chain: list[str]) -> None:

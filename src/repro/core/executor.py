@@ -34,11 +34,17 @@ Concurrency hygiene mirrors the GPU resource model:
 
 Observability: each shard's stage spans land on its worker's trace track
 (``worker0``, ``worker1``, ... — mirroring the simulator's per-stream
-tracks, so Perfetto shows the overlap), and every run publishes the
-``sfft.executor.*`` metrics family: shard/signal counts, queue wait,
+tracks, so Perfetto shows the overlap), all nested under one
+``executor.run`` root span on the ``executor`` track; every span carries
+the DAG metadata the critical-path engine (:mod:`repro.obs.critical`)
+reconstructs runs from — ``shard`` / ``worker`` ids, a ``parent`` link,
+and the shard's measured ``queue_wait_s``.  Every run also publishes the
+``sfft.executor.*`` metrics family: shard/signal counts, queue wait (as a
+histogram *and* ``queue_wait_p50_s``/``p90``/``p99`` tail gauges),
 per-shard wall, the achieved overlap ratio (total busy seconds over
-elapsed wall — values above 1.0 mean stages genuinely overlapped), and
-the leased-workspace footprint (``workspace_shared_bytes`` for the
+elapsed wall, clamped to ``[0, workers]`` — values above 1.0 mean stages
+genuinely overlapped, and a 1-worker run can never report more than 1.0),
+and the leased-workspace footprint (``workspace_shared_bytes`` for the
 immutable arrays the pool shares, ``worker_scratch_bytes`` /
 ``clone_bytes`` for the private per-worker scratch and its pool total).
 """
@@ -173,8 +179,9 @@ class ShardedExecutor:
                 tracer.add_span(
                     "comb", start_s=t0 - run_t0,
                     duration_s=monotonic() - t0,
-                    category="executor", track=EXECUTOR_TRACK,
-                    attrs={"W": comb_width, "loops": comb_loops},
+                    category="executor", track=EXECUTOR_TRACK, depth=1,
+                    attrs={"W": comb_width, "loops": comb_loops,
+                           "parent": "executor.run"},
                 )
 
         # One leased workspace per worker: shared immutable gather/taps,
@@ -222,7 +229,11 @@ class ShardedExecutor:
             stage = None
             if tracer is not None:
                 def stage(name, **attrs):
-                    return _stage_span(f"shard{idx}.{name}", track, attrs)
+                    return _stage_span(
+                        f"shard{idx}.{name}", track,
+                        {"shard": idx, "worker": w,
+                         "parent": f"shard{idx}", **attrs},
+                    )
             try:
                 out = run_stack_pipeline(
                     X[lo:hi], plan,
@@ -242,7 +253,10 @@ class ShardedExecutor:
                     f"shard{idx}", start_s=max(0.0, t_pick - run_t0),
                     duration_s=t_end - t_pick,
                     category="executor", track=track,
-                    attrs={"signals": hi - lo, "lo": lo, "hi": hi},
+                    attrs={"signals": hi - lo, "lo": lo, "hi": hi,
+                           "shard": idx, "worker": w,
+                           "queue_wait_s": max(0.0, t_pick - submit_t),
+                           "parent": "executor.run"},
                 )
             return out, t_pick - submit_t, t_end - t_pick
 
@@ -258,18 +272,39 @@ class ShardedExecutor:
             shard_outs = [f.result() for f in futures]
 
         wall = monotonic() - run_t0
-        waits = [wait for _, wait, _ in shard_outs]
+        waits = [max(0.0, wait) for _, wait, _ in shard_outs]
         busys = [busy for _, _, busy in shard_outs]
+        if tracer is not None:
+            # Root of the span DAG: every comb/shard/stage span carries a
+            # `parent` attr pointing (transitively) here, and the critical
+            # path engine charges otherwise-uncovered intervals to this
+            # span rather than to "(idle)".
+            tracer.add_span(
+                "executor.run", start_s=0.0, duration_s=wall,
+                category="executor", track=EXECUTOR_TRACK,
+                attrs={"workers": nw, "shards": len(bounds), "signals": S},
+            )
         registry.gauge("sfft.executor.workers").set(nw)
         registry.counter("sfft.executor.shards").inc(len(bounds))
         registry.counter("sfft.executor.signals").inc(S)
-        registry.histogram("sfft.executor.queue_wait_s").observe_many(waits)
+        wait_hist = registry.histogram("sfft.executor.queue_wait_s")
+        wait_hist.observe_many(waits)
+        # Tail visibility for the attribution layer: the histogram's sum
+        # hides whether queue wait is spread thin or one shard starved.
+        for q, suffix in ((50, "p50"), (90, "p90"), (99, "p99")):
+            registry.gauge(f"sfft.executor.queue_wait_{suffix}_s").set(
+                wait_hist.percentile(q)
+            )
         registry.histogram("sfft.executor.shard_wall_s").observe_many(busys)
         registry.histogram("sfft.executor.run_wall_s").observe(wall)
         # Busy-over-wall: 1.0 is perfectly serial, > 1.0 means shards
-        # genuinely overlapped (upper bound: the worker count).
+        # genuinely overlapped.  Clamped to [0, workers] so timer jitter
+        # cannot report impossible overlap (in particular a 1-worker run
+        # can never exceed 1.0, keeping attribution ratios well-posed);
+        # a degenerate zero-wall run reports 0.0.
+        overlap = sum(busys) / wall if wall > 0 else 0.0
         registry.gauge("sfft.executor.overlap_ratio").set(
-            sum(busys) / wall if wall > 0 else 0.0
+            min(max(0.0, overlap), float(nw))
         )
 
         results: list[SparseFFTResult] = []

@@ -14,6 +14,11 @@ GPU (``repro.gpu`` / ``repro.cusim``), and the benchmark/experiment harness:
   a noise-aware regression gate (``scripts/bench_gate.py``);
 * attribution reports — per-span self-time tables, flamegraph
   collapsed-stack export, and trajectory sparkline dashboards;
+* why-analysis — a critical-path engine over the span DAG with
+  Amdahl-style what-if projections (:mod:`repro.obs.critical`),
+  differential profiles, and automatic regression attribution emitting
+  ``repro.attrib/1`` records (:mod:`repro.obs.attrib`, surfaced as
+  ``python -m repro why``);
 * live telemetry — a bounded :class:`FlightRecorder` over span closes and
   metric updates, ``tracemalloc``-backed memory gauges
   (:class:`MemorySampler`), and streaming export: Prometheus text
@@ -23,6 +28,26 @@ GPU (``repro.gpu`` / ``repro.cusim``), and the benchmark/experiment harness:
 See ``docs/observability.md`` for the naming scheme and schemas.
 """
 
+from .attrib import (
+    ATTRIB_SCHEMA,
+    attribute_run,
+    attribute_verdict,
+    diff_attrib_record,
+    diff_collapsed_stacks,
+    diff_self_times,
+    make_attrib_record,
+    render_attrib_record,
+    validate_attrib_record,
+)
+from .critical import (
+    IDLE_STAGE,
+    CriticalPath,
+    PathSegment,
+    critical_path,
+    render_critical_path,
+    stage_of,
+    what_if_speedup,
+)
 from .export import (
     RUN_RECORD_SCHEMA,
     atomic_append_text,
@@ -61,6 +86,8 @@ from .regress import (
     compare_to_baseline,
     make_baseline,
     make_trajectory_points,
+    prune_runs,
+    prune_trajectory,
     render_verdict,
     validate_baseline,
     validate_trajectory,
@@ -113,6 +140,8 @@ __all__ = [
     "compare_to_baseline",
     "make_baseline",
     "make_trajectory_points",
+    "prune_runs",
+    "prune_trajectory",
     "render_verdict",
     "validate_baseline",
     "validate_trajectory",
@@ -121,4 +150,20 @@ __all__ = [
     "render_trajectory_dashboard",
     "self_time_rows",
     "sparkline",
+    "ATTRIB_SCHEMA",
+    "attribute_run",
+    "attribute_verdict",
+    "diff_attrib_record",
+    "diff_collapsed_stacks",
+    "diff_self_times",
+    "make_attrib_record",
+    "render_attrib_record",
+    "validate_attrib_record",
+    "IDLE_STAGE",
+    "CriticalPath",
+    "PathSegment",
+    "critical_path",
+    "render_critical_path",
+    "stage_of",
+    "what_if_speedup",
 ]

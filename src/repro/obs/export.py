@@ -12,7 +12,9 @@ Schema ``repro.run/1`` (see ``docs/observability.md``):
 * ``name`` — what ran (experiment id, ``"sfft"``, benchmark id);
 * ``params`` — JSON object of inputs (``n``, ``k``, config, ...);
 * ``metrics`` — :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` output;
-* ``spans`` — ``[{name, category, track, start_s, duration_s}, ...]``;
+* ``spans`` — ``[{name, category, track, start_s, duration_s, depth,
+  attrs?}, ...]`` (``attrs`` only when non-empty; ``depth``/``attrs`` feed
+  the critical-path engine in :mod:`repro.obs.critical`);
 * optional ``rows``/``headers``/``notes`` for table-shaped results.
 """
 
@@ -108,6 +110,8 @@ def make_run_record(
                 "track": sp.track,
                 "start_s": sp.start_s,
                 "duration_s": sp.duration_s,
+                "depth": sp.depth,
+                **({"attrs": _jsonify(dict(sp.attrs))} if sp.attrs else {}),
             }
             for sp in (tracer.spans if tracer is not None else [])
         ],

@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
@@ -54,6 +55,8 @@ __all__ = [
     "make_trajectory_points",
     "append_trajectory",
     "compare_to_baseline",
+    "prune_runs",
+    "prune_trajectory",
     "validate_baseline",
     "validate_trajectory",
     "render_verdict",
@@ -389,6 +392,141 @@ def append_trajectory(
         json.dump(doc, fh, separators=(",", ":"))
         fh.write("\n")
     return len(points)
+
+
+# --------------------------------------------------------------------------
+# pruning: compact the append-only files without losing history semantics
+# --------------------------------------------------------------------------
+
+def _atomic_write_text(path: str, text: str) -> None:
+    """Replace ``path``'s contents atomically (same dance as appends)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as out:
+            out.write(text)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _keep_last_per_key(
+    keys: list[str], keep_per_key: int | None
+) -> list[bool]:
+    """Keep-mask over ``keys``: the newest ``keep_per_key`` of each key.
+
+    ``None`` keeps everything (the caller is only deduplicating).
+    """
+    if keep_per_key is None:
+        return [True] * len(keys)
+    if keep_per_key < 1:
+        raise ParameterError(
+            f"keep_per_key must be >= 1 (or None), got {keep_per_key}"
+        )
+    counts: dict[str, int] = {}
+    mask = [False] * len(keys)
+    for i in range(len(keys) - 1, -1, -1):
+        seen = counts.get(keys[i], 0)
+        if seen < keep_per_key:
+            mask[i] = True
+            counts[keys[i]] = seen + 1
+    return mask
+
+
+def prune_trajectory(
+    path: str, *, keep_per_key: int | None = None
+) -> tuple[int, int]:
+    """Compact a ``repro.trajectory/1`` file in place.
+
+    Drops verbatim-duplicate points (same ``(key, metrics)`` identity the
+    append path dedupes on — duplicates can still accumulate when the file
+    predates deduplication or was concatenated) and, when ``keep_per_key``
+    is given, superseded points beyond the newest N per run key.
+    Surviving points keep their original relative order, so the document
+    stays a valid trajectory: history ordered oldest-to-newest, just
+    shorter.  Returns ``(kept, dropped)``.
+    """
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    problems = validate_trajectory(doc)
+    if problems:
+        raise ParameterError(
+            f"refusing to prune invalid trajectory {path}: {problems[:3]}"
+        )
+    points = doc["points"]
+    seen: set[str] = set()
+    deduped = []
+    for point in points:
+        ident = json.dumps([point.get("key"), point.get("metrics")],
+                           sort_keys=True)
+        if ident in seen:
+            continue
+        seen.add(ident)
+        deduped.append(point)
+    mask = _keep_last_per_key(
+        [str(p.get("key")) for p in deduped], keep_per_key
+    )
+    kept = [p for p, keep in zip(deduped, mask) if keep]
+    doc["points"] = kept
+    _atomic_write_text(
+        path, json.dumps(doc, separators=(",", ":")) + "\n"
+    )
+    return len(kept), len(points) - len(kept)
+
+
+def prune_runs(path: str, *, keep_per_key: int | None = None) -> tuple[int, int]:
+    """Compact a ``repro.run/1`` JSONL file in place.
+
+    Same policy as :func:`prune_trajectory`: drop byte-identical duplicate
+    records, then (optionally) keep only the newest ``keep_per_key``
+    records per run key.  Refuses files with invalid lines rather than
+    silently discarding them.  Returns ``(kept, dropped)``.
+    """
+    from .export import validate_run_record
+
+    lines: list[str] = []
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ParameterError(
+                    f"refusing to prune {path}: line {lineno} is not JSON "
+                    f"({exc})"
+                ) from exc
+            problems = validate_run_record(record)
+            if problems:
+                raise ParameterError(
+                    f"refusing to prune {path}: line {lineno}: {problems[0]}"
+                )
+            lines.append(line)
+            records.append(record)
+    total = len(lines)
+    seen: set[str] = set()
+    deduped: list[tuple[str, dict]] = []
+    for line, record in zip(lines, records):
+        if line in seen:
+            continue
+        seen.add(line)
+        deduped.append((line, record))
+    mask = _keep_last_per_key(
+        [run_key(record)[0] for _, record in deduped], keep_per_key
+    )
+    kept = [line for (line, _), keep in zip(deduped, mask) if keep]
+    _atomic_write_text(path, "".join(line + "\n" for line in kept))
+    return len(kept), total - len(kept)
 
 
 # --------------------------------------------------------------------------

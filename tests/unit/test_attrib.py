@@ -1,0 +1,276 @@
+"""Unit tests: differential profiles and regression attribution.
+
+Covers the pure diff helpers, the ``repro.attrib/1`` record assembly
+(ranking, residual accounting, what-if blocks), the three entry points
+(verdict / healthy run / two-run diff), and the schema validator that
+keeps the JSONL surface honest.
+"""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    ATTRIB_SCHEMA,
+    GateConfig,
+    MetricsRegistry,
+    Tracer,
+    attribute_run,
+    attribute_verdict,
+    compare_to_baseline,
+    diff_attrib_record,
+    diff_collapsed_stacks,
+    diff_self_times,
+    make_attrib_record,
+    make_baseline,
+    make_run_record,
+    render_attrib_record,
+    validate_attrib_record,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def tick(self, dt):
+        self.now += dt
+
+    def __call__(self):
+        return self.now
+
+
+def make_record(name="demo", *, perm_filter_s=0.010, bucket_fft_s=0.002):
+    clock = FakeClock()
+    tr = Tracer(clock=clock)
+    with tr.span("perm_filter", category="sfft"):
+        clock.tick(perm_filter_s)
+    with tr.span("bucket_fft", category="sfft"):
+        clock.tick(bucket_fft_s)
+    reg = MetricsRegistry()
+    reg.gauge("sfft.recovery.hits").set(4)
+    return make_run_record(
+        name, params={"n": 4096, "k": 4}, tracer=tr, registry=reg,
+        results={"l1_error_per_coeff": 1e-9},
+    )
+
+
+class TestDiffSelfTimes:
+    def test_aligned_names_get_signed_deltas(self):
+        a = make_record()["spans"]
+        b = make_record(perm_filter_s=0.030)["spans"]
+        rows = diff_self_times(a, b)
+        top = rows[0]
+        assert top["name"] == "perm_filter"
+        assert top["delta_s"] == pytest.approx(0.020, abs=1e-6)
+        flat = {r["name"]: r for r in rows}
+        assert flat["bucket_fft"]["delta_s"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_one_sided_names_keep_explicit_zero(self):
+        rows = diff_self_times(
+            [{"name": "only_a", "track": "cpu", "start_s": 0.0,
+              "duration_s": 1.0}],
+            [],
+        )
+        assert rows == [
+            {"name": "only_a", "base_s": 1.0, "fresh_s": 0.0, "delta_s": -1.0}
+        ]
+
+
+class TestDiffCollapsedStacks:
+    def test_two_value_lines_over_the_union(self):
+        a = make_record()["spans"]
+        b = make_record(perm_filter_s=0.030)["spans"]
+        lines = diff_collapsed_stacks(a, b)
+        assert lines
+        for line in lines:
+            stack, base, fresh = line.rsplit(" ", 2)
+            assert stack
+            assert int(base) >= 0 and int(fresh) >= 0
+
+    def test_absent_side_is_zero(self):
+        lines = diff_collapsed_stacks(
+            [], [{"name": "x", "track": "cpu", "start_s": 0.0,
+                  "duration_s": 0.001}],
+        )
+        assert len(lines) == 1
+        assert lines[0].split()[-2:] == ["0", "1000"]
+
+
+class TestMakeAttribRecord:
+    def _candidates(self):
+        return [
+            {"metric": "span.perm_filter.total_s", "base": 0.01, "fresh": 0.05},
+            {"metric": "span.bucket_fft.total_s", "base": 0.002, "fresh": 0.003},
+        ]
+
+    def test_ranked_by_absolute_delta(self):
+        doc = make_attrib_record(
+            key="k", status="regression",
+            target={"metric": "results.sfft_wall_s", "class": "wall",
+                    "base": 0.02, "fresh": 0.07},
+            candidates=self._candidates(),
+        )
+        metrics = [c["metric"] for c in doc["contributors"]]
+        assert metrics[0] == "span.perm_filter.total_s"
+        assert doc["contributors"][0]["delta"] == pytest.approx(0.04)
+        assert validate_attrib_record(doc) == []
+
+    def test_residual_accounts_for_the_unexplained_part(self):
+        doc = make_attrib_record(
+            key="k", status="regression",
+            target={"metric": "m", "base": 0.0, "fresh": 0.10},
+            candidates=self._candidates(),
+        )
+        explained = sum(c["delta"] for c in doc["contributors"])
+        assert doc["residual"]["delta"] == pytest.approx(0.10 - explained)
+        assert doc["residual"]["dropped_candidates"] == 0
+
+    def test_top_n_truncates_and_counts_dropped(self):
+        doc = make_attrib_record(
+            key="k", status="regression",
+            target={"metric": "m", "base": 0.0, "fresh": 0.10},
+            candidates=self._candidates(), top_n=1,
+        )
+        assert len(doc["contributors"]) == 1
+        assert doc["residual"]["dropped_candidates"] == 1
+
+    def test_spans_attach_path_shares_and_what_if(self):
+        spans = make_record(perm_filter_s=0.05)["spans"]
+        doc = make_attrib_record(
+            key="k", status="regression",
+            target={"metric": "m", "base": 0.0, "fresh": 0.05},
+            candidates=self._candidates(), spans=spans,
+        )
+        top = doc["contributors"][0]
+        assert top["path_share"] is not None and top["path_share"] > 0.5
+        # Regressed 5x from baseline -> the what-if factor is fresh/base.
+        assert top["what_if"]["speedup_factor_x"] == pytest.approx(5.0)
+        assert top["what_if"]["projected_run_speedup_x"] > 1.0
+        shares = doc["critical_path"]["shares"]
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-9)
+        assert validate_attrib_record(doc) == []
+
+    def test_bad_status_and_top_n_raise(self):
+        with pytest.raises(ParameterError, match="status"):
+            make_attrib_record(key="k", status="meh", target=None,
+                               candidates=[])
+        with pytest.raises(ParameterError, match="top_n"):
+            make_attrib_record(key="k", status="ok", target=None,
+                               candidates=[], top_n=0)
+
+
+class TestAttributeVerdict:
+    def test_regressed_span_metric_is_its_own_top_contributor(self):
+        base_records = [make_record() for _ in range(3)]
+        baseline = make_baseline(base_records)
+        fresh = [make_record(perm_filter_s=0.100)]
+        verdict = compare_to_baseline(baseline, fresh, GateConfig())
+        assert verdict.status == "regression"
+        docs = attribute_verdict(baseline, fresh, verdict)
+        assert len(docs) == len(verdict.regressions())
+        doc = docs[0]
+        assert doc["status"] == "regression"
+        assert doc["contributors"][0]["metric"] == "span.perm_filter.total_s"
+        assert validate_attrib_record(doc) == []
+
+    def test_clean_verdict_yields_no_records(self):
+        records = [make_record() for _ in range(3)]
+        baseline = make_baseline(records)
+        verdict = compare_to_baseline(baseline, records, GateConfig())
+        assert attribute_verdict(baseline, records, verdict) == []
+
+
+class TestAttributeRun:
+    def test_without_baseline_still_carries_critical_path(self):
+        doc = attribute_run(None, [make_record()])
+        assert doc["status"] == "ok"
+        assert doc["target"] is None
+        assert doc["critical_path"] is not None
+        assert validate_attrib_record(doc) == []
+
+    def test_with_baseline_targets_the_headline_metric(self):
+        records = [make_record() for _ in range(2)]
+        baseline = make_baseline(records)
+        doc = attribute_run(baseline, records)
+        assert doc["status"] == "ok"
+        assert doc["contributors"]
+        assert validate_attrib_record(doc) == []
+
+    def test_no_records_raises(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            attribute_run(None, [])
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ParameterError, match="no records under"):
+            attribute_run(None, [make_record()], key="nope|n=1|k=1|default")
+
+
+class TestDiffAttribRecord:
+    def test_two_runs_head_to_head(self):
+        a = make_record()
+        b = make_record(perm_filter_s=0.030)
+        doc = diff_attrib_record(a, b)
+        assert doc["status"] == "diff"
+        assert doc["target"]["metric"] == "span.total_self_s"
+        assert doc["contributors"][0]["metric"] == "span.perm_filter.self_s"
+        # Self-time contributors still join to critical-path shares.
+        assert doc["contributors"][0]["path_share"] is not None
+        assert validate_attrib_record(doc) == []
+
+
+class TestValidateAttribRecord:
+    def _valid(self):
+        return make_attrib_record(
+            key="k", status="ok", target=None, candidates=[],
+            spans=make_record()["spans"],
+        )
+
+    def test_valid_record_passes(self):
+        assert validate_attrib_record(self._valid()) == []
+
+    def test_non_object_rejected(self):
+        assert validate_attrib_record([1, 2]) != []
+
+    @pytest.mark.parametrize("mutate,needle", [
+        (lambda d: d.update(schema="nope/9"), "schema"),
+        (lambda d: d.update(key=""), "key"),
+        (lambda d: d.update(status="maybe"), "status"),
+        (lambda d: d.update(contributors={}), "contributors"),
+    ])
+    def test_field_problems_are_named(self, mutate, needle):
+        doc = self._valid()
+        mutate(doc)
+        assert any(needle in p for p in validate_attrib_record(doc))
+
+    def test_share_sum_must_be_one(self):
+        doc = self._valid()
+        doc["critical_path"]["shares"] = {"a": 0.5, "b": 0.3}
+        assert any("sum to 1.0" in p for p in validate_attrib_record(doc))
+
+    def test_path_share_bounds(self):
+        doc = make_attrib_record(
+            key="k", status="regression",
+            target={"metric": "m", "base": 1.0, "fresh": 2.0},
+            candidates=[{"metric": "span.x.total_s", "base": 1.0,
+                         "fresh": 2.0}],
+        )
+        doc["contributors"][0]["path_share"] = 1.5
+        assert any("path_share" in p for p in validate_attrib_record(doc))
+
+
+class TestRenderAttribRecord:
+    def test_head_table_and_residual(self):
+        base_records = [make_record() for _ in range(3)]
+        baseline = make_baseline(base_records)
+        fresh = [make_record(perm_filter_s=0.100)]
+        verdict = compare_to_baseline(baseline, fresh, GateConfig())
+        doc = attribute_verdict(baseline, fresh, verdict)[0]
+        out = render_attrib_record(doc)
+        assert out.startswith("why: ")
+        assert "[regression]" in out
+        assert "top contributors" in out
+        assert "unattributed residual" in out
+        assert "critical path: makespan" in out
+
+    def test_schema_constant_matches(self):
+        assert ATTRIB_SCHEMA == "repro.attrib/1"

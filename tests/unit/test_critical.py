@@ -1,0 +1,160 @@
+"""Unit tests: the critical-path engine (`repro.obs.critical`).
+
+The load-bearing invariant is the tiling one — the path segments cover
+``[first start, last end]`` with no gaps and no overlaps, so per-stage
+shares sum to exactly 1.0 — because the Amdahl what-if projections are
+only well-posed on a partition of the makespan.
+"""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    IDLE_STAGE,
+    Tracer,
+    critical_path,
+    render_critical_path,
+    stage_of,
+    what_if_speedup,
+)
+
+
+def _span(name, start, dur, track="cpu", depth=0, attrs=None):
+    return {
+        "name": name, "track": track, "category": "t",
+        "start_s": start, "duration_s": dur, "depth": depth,
+        **({"attrs": attrs} if attrs else {}),
+    }
+
+
+class TestStageOf:
+    def test_plain_names_pass_through(self):
+        assert stage_of("perm_filter") == "perm_filter"
+        assert stage_of("executor.run") == "executor.run"
+
+    def test_shard_stage_prefix_is_stripped(self):
+        assert stage_of("shard3.bucket_fft") == "bucket_fft"
+        assert stage_of("shard12.estimation") == "estimation"
+
+    def test_bare_shard_folds_to_shard(self):
+        assert stage_of("shard0") == "shard"
+        assert stage_of("shard42") == "shard"
+
+
+class TestWhatIfSpeedup:
+    def test_amdahl_half_share_doubled(self):
+        assert what_if_speedup(0.5, 2.0) == pytest.approx(1.0 / 0.75)
+
+    def test_zero_share_is_no_improvement(self):
+        assert what_if_speedup(0.0, 10.0) == 1.0
+
+    def test_full_share_tracks_the_factor(self):
+        assert what_if_speedup(1.0, 4.0) == pytest.approx(4.0)
+
+    def test_bad_factor_raises(self):
+        with pytest.raises(ParameterError, match="factor"):
+            what_if_speedup(0.5, 0.0)
+        with pytest.raises(ParameterError, match="factor"):
+            what_if_speedup(0.5, -1.0)
+
+    def test_bad_share_raises(self):
+        with pytest.raises(ParameterError, match="share"):
+            what_if_speedup(1.5, 2.0)
+        with pytest.raises(ParameterError, match="share"):
+            what_if_speedup(-0.1, 2.0)
+
+
+class TestCriticalPathSweep:
+    def test_empty_trace(self):
+        cp = critical_path([])
+        assert cp.segments == ()
+        assert cp.makespan_s == 0.0
+        assert cp.stage_shares() == {}
+
+    def test_single_span_owns_the_whole_path(self):
+        cp = critical_path([_span("a", 0.0, 2.0)])
+        assert cp.stage_shares() == {"a": pytest.approx(1.0)}
+        assert cp.makespan_s == pytest.approx(2.0)
+
+    def test_zero_duration_spans_are_skipped(self):
+        cp = critical_path([_span("a", 0.0, 1.0), _span("ghost", 0.5, 0.0)])
+        assert cp.stage_shares() == {"a": pytest.approx(1.0)}
+
+    def test_latest_start_wins_overlap(self):
+        # b starts inside a: b is the more recent scheduling decision, so
+        # it owns [1, 2]; a keeps [0, 1] and reclaims [2, 3].
+        cp = critical_path([_span("a", 0.0, 3.0), _span("b", 1.0, 1.0)])
+        path = cp.stage_path_s()
+        assert path["a"] == pytest.approx(2.0)
+        assert path["b"] == pytest.approx(1.0)
+        assert [seg.name for seg in cp.segments] == ["a", "b", "a"]
+
+    def test_gap_becomes_idle(self):
+        cp = critical_path([_span("a", 0.0, 1.0), _span("b", 2.0, 1.0)])
+        shares = cp.stage_shares()
+        assert shares[IDLE_STAGE] == pytest.approx(1.0 / 3.0)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_shares_always_sum_to_one(self):
+        spans = [
+            _span("executor.run", 0.0, 10.0, track="executor"),
+            _span("shard0", 0.1, 4.0, track="worker0"),
+            _span("shard0.bucket_fft", 0.2, 3.0, track="worker0", depth=1),
+            _span("shard1", 0.1, 9.0, track="worker1"),
+            _span("shard1.estimation", 4.0, 5.0, track="worker1", depth=1),
+        ]
+        shares = critical_path(spans).stage_shares()
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-9)
+        # Stage names fold across shards; the root soaks the rest.
+        assert "bucket_fft" in shares and "estimation" in shares
+        assert "executor.run" in shares
+
+    def test_deeper_span_wins_tied_start(self):
+        cp = critical_path([
+            _span("outer", 0.0, 1.0, depth=0),
+            _span("inner", 0.0, 1.0, depth=1),
+        ])
+        assert [seg.name for seg in cp.segments] == ["inner"]
+
+    def test_queue_wait_attrs_are_summed(self):
+        cp = critical_path([
+            _span("shard0", 0.0, 1.0, attrs={"queue_wait_s": 0.25}),
+            _span("shard1", 1.0, 1.0, attrs={"queue_wait_s": 0.5}),
+            _span("other", 0.0, 0.5, attrs={"queue_wait_s": True}),
+        ])
+        assert cp.queue_wait_s == pytest.approx(0.75)
+
+    def test_accepts_live_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="t"):
+            with tracer.span("inner", category="t"):
+                pass
+        cp = critical_path(tracer.spans)
+        assert sum(cp.stage_shares().values()) == pytest.approx(1.0)
+        assert "inner" in cp.stage_shares()
+
+    def test_what_if_method_uses_path_share(self):
+        cp = critical_path([_span("a", 0.0, 1.0), _span("b", 1.0, 1.0)])
+        assert cp.what_if("b", 2.0) == pytest.approx(1.0 / 0.75)
+        assert cp.what_if("not-on-path", 2.0) == 1.0
+
+
+class TestRenderCriticalPath:
+    def test_empty_message(self):
+        assert "no spans" in render_critical_path(critical_path([]))
+
+    def test_table_rows_and_queue_footer(self):
+        cp = critical_path([
+            _span("a", 0.0, 3.0, attrs={"queue_wait_s": 0.1}),
+            _span("b", 3.0, 1.0),
+        ])
+        out = render_critical_path(cp, what_if_factor=2.0)
+        assert "critical path" in out
+        assert "a" in out and "75.0%" in out
+        assert "queue wait" in out
+
+    def test_idle_has_no_what_if(self):
+        cp = critical_path([_span("a", 0.0, 1.0), _span("b", 2.0, 1.0)])
+        row = [line for line in render_critical_path(cp).splitlines()
+               if IDLE_STAGE in line]
+        assert row and row[0].rstrip().endswith("-")

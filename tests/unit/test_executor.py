@@ -100,6 +100,27 @@ def test_metrics_family_published(stack, plan):
     assert snap["sfft.executor.overlap_ratio"]["value"] > 0
 
 
+def test_queue_wait_percentile_gauges(stack, plan):
+    registry = MetricsRegistry()
+    ShardedExecutor(workers=2, shard_size=2).run(
+        stack, plan, metrics=registry
+    )
+    snap = registry.snapshot()
+    p50 = snap["sfft.executor.queue_wait_p50_s"]["value"]
+    p90 = snap["sfft.executor.queue_wait_p90_s"]["value"]
+    p99 = snap["sfft.executor.queue_wait_p99_s"]["value"]
+    assert 0 <= p50 <= p90 <= p99
+
+
+def test_overlap_ratio_clamped_for_one_worker(stack, plan):
+    registry = MetricsRegistry()
+    ShardedExecutor(workers=1, shard_size=2).run(
+        stack, plan, metrics=registry
+    )
+    overlap = registry.snapshot()["sfft.executor.overlap_ratio"]["value"]
+    assert 0.0 <= overlap <= 1.0  # a serial run cannot "overlap"
+
+
 def test_spans_land_on_worker_tracks(stack, plan):
     tracer = Tracer()
     ShardedExecutor(workers=2, shard_size=2).run(
@@ -117,11 +138,40 @@ def test_spans_land_on_worker_tracks(stack, plan):
     assert len(shard_totals) == 4
     assert sum(sp.attrs["signals"] for sp in shard_totals) == _S
     # Each shard emits its five stage spans at depth 1 on the same track.
-    stage_spans = [sp for sp in tracer.spans if "." in sp.name]
+    stage_spans = [sp for sp in tracer.spans
+                   if "." in sp.name and sp.name != "executor.run"]
     assert {sp.name.split(".", 1)[1] for sp in stage_spans} == {
         "perm_filter", "bucket_fft", "cutoff", "recovery", "estimation"
     }
     assert all(sp.depth == 1 for sp in stage_spans)
+
+
+def test_span_dag_attrs_and_root(stack, plan):
+    tracer = Tracer()
+    ShardedExecutor(workers=2, shard_size=2).run(stack, plan, tracer=tracer)
+
+    roots = [sp for sp in tracer.spans if sp.name == "executor.run"]
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.track == EXECUTOR_TRACK and root.start_s == 0.0
+    assert root.attrs["workers"] == 2 and root.attrs["signals"] == _S
+    # The root covers every shard span: the critical-path DAG contract.
+    shard_spans = [sp for sp in tracer.spans
+                   if sp.name.startswith("shard") and "." not in sp.name]
+    assert all(sp.start_s + sp.duration_s <= root.duration_s + 1e-9
+               for sp in shard_spans)
+
+    for sp in shard_spans:
+        assert sp.attrs["parent"] == "executor.run"
+        assert sp.attrs["shard"] == int(sp.name[len("shard"):])
+        assert sp.attrs["worker"] in (0, 1)
+        assert sp.attrs["queue_wait_s"] >= 0.0
+    stage_spans = [sp for sp in tracer.spans
+                   if "." in sp.name and sp.name != "executor.run"]
+    for sp in stage_spans:
+        shard = sp.name.split(".", 1)[0]
+        assert sp.attrs["parent"] == shard
+        assert sp.attrs["shard"] == int(shard[len("shard"):])
 
 
 def test_strict_error_names_global_signal_index(rng):

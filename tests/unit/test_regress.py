@@ -15,6 +15,8 @@ from repro.obs import (
     make_baseline,
     make_run_record,
     make_trajectory_points,
+    prune_runs,
+    prune_trajectory,
     render_verdict,
     validate_baseline,
     validate_trajectory,
@@ -209,6 +211,64 @@ class TestTrajectory:
         problems = validate_trajectory(doc)
         assert any(p.startswith("points[1]") for p in problems)
         assert not any(p.startswith("points[0]") for p in problems)
+
+
+class TestPrune:
+    def _runs_file(self, tmp_path, records):
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        return path
+
+    def test_runs_dedupe_keeps_order(self, tmp_path):
+        a, b = make_record(), make_record(perm_filter_s=0.02)
+        path = self._runs_file(tmp_path, [a, b, a, b, a])
+        assert prune_runs(path) == (2, 3)
+        lines = path.read_text().splitlines()
+        assert [json.loads(ln)["params"] for ln in lines] \
+            == [a["params"], b["params"]]
+
+    def test_runs_keep_newest_per_key(self, tmp_path):
+        records = [make_record(perm_filter_s=0.01 * (i + 1))
+                   for i in range(5)]
+        path = self._runs_file(tmp_path, records)
+        assert prune_runs(path, keep_per_key=2) == (2, 3)
+        kept = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert kept == records[-2:]  # newest two, still in order
+
+    def test_runs_refuse_invalid_line(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"schema": "wrong"}\n')
+        before = path.read_text()
+        with pytest.raises(ValueError):
+            prune_runs(path)
+        assert path.read_text() == before  # refused, not rewritten
+
+    def test_runs_bad_keep_raises(self, tmp_path):
+        path = self._runs_file(tmp_path, [make_record()])
+        with pytest.raises(ValueError):
+            prune_runs(path, keep_per_key=0)
+
+    def test_trajectory_dedupe_and_keep(self, tmp_path):
+        points = make_trajectory_points(
+            [make_record(perm_filter_s=0.01 * (i + 1)) for i in range(3)],
+        )
+        path = tmp_path / "traj.json"
+        path.write_text(json.dumps(
+            {"schema": TRAJECTORY_SCHEMA, "points": points + points[:1]}
+        ))
+        assert prune_trajectory(path) == (3, 1)
+        assert prune_trajectory(path, keep_per_key=1) == (1, 2)
+        doc = json.loads(path.read_text())
+        assert validate_trajectory(doc) == []
+        assert len(doc["points"]) == 1
+
+    def test_trajectory_refuses_corrupt_doc(self, tmp_path):
+        path = tmp_path / "traj.json"
+        path.write_text('{"schema": "wrong", "points": []}')
+        with pytest.raises(ValueError):
+            prune_trajectory(path)
 
 
 class TestGate:

@@ -178,6 +178,34 @@ class TestTelemetryThreadSafety:
         assert lint_source(src, path="a.py", relpath="core/a.py") == []
 
 
+class TestSpanOrphan:
+    def test_trackless_add_span_is_flagged(self):
+        findings = _lint(
+            'tracer.add_span("comb", start_s=0.0, duration_s=w, '
+            'category="sfft")\n'
+        )
+        assert _rules(findings) == ["span-orphan"]
+        assert "track" in findings[0].message
+
+    def test_tracked_add_span_is_clean(self):
+        assert _lint(
+            'tracer.add_span("comb", start_s=0.0, duration_s=w, '
+            'category="sfft", track=EXECUTOR_TRACK)\n'
+        ) == []
+
+    def test_kwargs_splat_is_not_guessed_at(self):
+        assert _lint('tracer.add_span("comb", **span_kwargs)\n') == []
+
+    def test_obs_modules_are_exempt(self):
+        assert _lint('replay.add_span("x", start_s=0.0, duration_s=1.0)\n',
+                     relpath="obs/live.py") == []
+
+    def test_suppressible(self):
+        src = ('tracer.add_span("x", start_s=0.0, duration_s=1.0)  '
+               "# reprolint: ignore[span-orphan]\n")
+        assert lint_source(src, path="a.py", relpath="core/a.py") == []
+
+
 class TestBareValueError:
     def test_raise_valueerror_is_flagged(self):
         findings = _lint('raise ValueError("bad")\n')
@@ -266,7 +294,7 @@ class TestFindingSchema:
         assert set(RULES) == {
             "fft-registry-bypass", "metric-name-family",
             "workspace-mutation", "wallclock-in-core", "bare-valueerror",
-            "telemetry-thread-safety",
+            "telemetry-thread-safety", "span-orphan",
         }
         for rule in RULES.values():
             assert rule.summary and rule.rationale
