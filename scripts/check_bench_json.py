@@ -24,7 +24,8 @@ With no paths, scans the repository root for ``BENCH_*.json`` files and
   library so CI and the writer cannot drift);
   records named ``bench-executor`` additionally must carry the stack
   geometry and positive ``wall_s_workers_<N>`` walls (the executor
-  scaling curve);
+  scaling curve), and a ``params.mode`` of ``thread``/``process`` when
+  present (records predate the process-pool executor);
 * ``LINT_BASELINE.json`` (the static-analysis gate's artifact) must be a
   valid ``repro.lintbase/1`` fingerprint snapshot;
 * ``BENCH_*.json`` declaring ``"schema": "repro.baseline/1"`` or
@@ -83,6 +84,13 @@ def check_executor_record(record: dict) -> list[str]:
             problems.append(f"bench-executor params.{key} must be an int")
     if not isinstance(params.get("fft_backend"), str):
         problems.append("bench-executor params.fft_backend must be a string")
+    # ``mode`` arrived with the process-pool executor; records written
+    # before it are still valid, but when present it must name a real mode.
+    if "mode" in params and params["mode"] not in ("thread", "process"):
+        problems.append(
+            "bench-executor params.mode must be 'thread' or 'process', "
+            f"got {params['mode']!r}"
+        )
     results = record.get("results") or {}
     walls = {
         key: val for key, val in results.items()

@@ -18,8 +18,12 @@ Observability flags:
   under one shared plan and report the amortized per-transform time next
   to the single-call time;
 * ``--workers N`` — run the batch leg through the sharded pipelined
-  executor (:class:`repro.core.ShardedExecutor`) with ``N`` worker
-  threads (default 1: the serial fused engine);
+  executor (:class:`repro.core.ShardedExecutor`) with ``N`` workers
+  (default 1: the serial fused engine);
+* ``--executor-mode thread|process`` — pick the executor's execution
+  mode for the batch leg: ``thread`` (default) or ``process``, the
+  shared-memory process pool that scales Python-level stage work past
+  the GIL (see ``docs/parallelism.md``);
 * ``--fft-backend NAME`` — select the process-wide FFT backend
   (``numpy``/``scipy``/``pyfftw``; see :mod:`repro.core.fft_backend`).
   The *resolved* backend (after optional-dependency fallback) is echoed
@@ -118,8 +122,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", metavar="N", default=1,
                         type=_workers_arg,
                         help="drive the batch leg through the sharded "
-                             "executor with N worker threads (default: 1, "
+                             "executor with N workers (default: 1, "
                              "the serial fused engine)")
+    parser.add_argument("--executor-mode", metavar="MODE", default=None,
+                        choices=("thread", "process"),
+                        help="sharded-executor mode for the batch leg: "
+                             "'thread' (GIL-bound pool) or 'process' "
+                             "(shared-memory process pool; default: "
+                             "$REPRO_EXECUTOR_MODE or thread)")
     from .core.fft_backend import registered_backends
 
     parser.add_argument("--fft-backend", metavar="NAME", default=None,
@@ -818,8 +828,10 @@ def main(argv: list[str] | None = None) -> int:
         ]
         stack = np.stack([s.time for s in batch_sigs])
         executor = None
-        if args.workers > 1:
-            executor = ShardedExecutor(workers=args.workers)
+        if args.workers > 1 or args.executor_mode is not None:
+            executor = ShardedExecutor(
+                workers=args.workers, mode=args.executor_mode
+            )
         t0 = time.perf_counter()
         batch_results = sfft_batch(
             stack, plan=plan, executor=executor,
@@ -832,6 +844,7 @@ def main(argv: list[str] | None = None) -> int:
         batch_stats = {
             "size": S,
             "workers": args.workers,
+            "mode": executor.mode if executor is not None else "serial",
             "wall_s": t_batch,
             "amortized_s": t_batch / S,
             "exact": batch_ok,
@@ -853,7 +866,9 @@ def main(argv: list[str] | None = None) -> int:
         record = make_run_record(
             "repro-demo",
             params={"n": n, "k": k, "n_log2": logn,
-                    "fft_backend": fft_backend, "workers": args.workers},
+                    "fft_backend": fft_backend, "workers": args.workers,
+                    **({"executor_mode": batch_stats["mode"]}
+                       if batch_stats is not None else {})},
             tracer=tracer,
             registry=metrics,
             results={
@@ -891,6 +906,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{batch_stats['wall_s'] * 1e3:.1f} ms "
               f"({batch_stats['amortized_s'] * 1e3:.2f} ms/transform, "
               f"{batch_stats['workers']} worker(s), "
+              f"{batch_stats['mode']} mode, "
               f"recovery {'exact' if batch_stats['exact'] else 'INCOMPLETE'})")
     print(f"\nsimulated cusFFT (Tesla K20x model): "
           f"{run.modeled_time_s * 1e3:.3f} ms")

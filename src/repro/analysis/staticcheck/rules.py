@@ -33,6 +33,13 @@ by path relative to the ``repro`` package root (posix separators):
   explicit ``track=`` lands on the default CPU track, where the
   critical-path engine (:mod:`repro.obs.critical`) will treat it as
   serial CPU work and misattribute overlap (the PR-7 DAG contract).
+* ``shm-lifecycle`` — ``multiprocessing.shared_memory`` segments are
+  kernel-persistent objects: a leaked name survives the process in
+  ``/dev/shm``.  Only ``core/shm.py`` (the PR-8 ownership layer —
+  ``SegmentBundle`` guarantees unlink-on-close even across worker
+  crashes) may construct ``SharedMemory``; and any function creating a
+  segment (``create=True``) must carry a ``.unlink()`` call on some path
+  so the half-built-segment failure mode cannot leak.
 """
 
 from __future__ import annotations
@@ -110,6 +117,18 @@ RULES: dict[str, Rule] = {r.id: r for r in (
         "parallel producers should carry parent/shard attrs) so the span "
         "DAG stays reconstructible.",
     ),
+    Rule(
+        "shm-lifecycle", "error",
+        "SharedMemory constructed outside core/shm.py, or created "
+        "without an unlink path",
+        "Shared-memory segments outlive the process if never unlinked "
+        "(they are names in /dev/shm, not file descriptors); "
+        "core/shm.py's SegmentBundle/AttachedSegment own the "
+        "create/attach/unlink lifecycle — including unlink-on-close "
+        "after worker crashes — so every other module must go through "
+        "them, and a creating function must hold a matching .unlink() "
+        "on some path.",
+    ),
 )}
 
 #: FFT transform attribute names that constitute a registry bypass.
@@ -134,6 +153,8 @@ _CLOCK_FUNCS = frozenset({"time", "perf_counter", "monotonic",
                           "process_time", "thread_time"})
 #: Lock-guarded telemetry internals (see obs/metrics.py, obs/live.py).
 _TELEMETRY_INTERNALS = frozenset({"_instruments", "_subscribers", "_ring"})
+#: The one module allowed to construct SharedMemory (see core/shm.py).
+_SHM_OWNER = "core/shm.py"
 
 #: Per-rule path exemptions (exact file, or a trailing-slash prefix).
 _EXEMPT = {
@@ -229,6 +250,7 @@ class _Visitor(ast.NodeVisitor):
             self._check_clock(node, chain)
             self._check_mutating_method(node, chain)
             self._check_span_orphan(node, chain)
+            self._check_shm_ctor(node, chain)
         self.generic_visit(node)
 
     def _check_fft(self, node: ast.Call, chain: list[str]) -> None:
@@ -291,6 +313,19 @@ class _Visitor(ast.NodeVisitor):
                 "track it belongs to",
             )
 
+    def _check_shm_ctor(self, node: ast.Call, chain: list[str]) -> None:
+        # Scoped manually, not via _EXEMPT: core/shm.py is exempt from the
+        # constructor check but still subject to the unlink-path check in
+        # visit_FunctionDef.
+        if chain[-1] != "SharedMemory" or self.relpath == _SHM_OWNER:
+            return
+        self._emit(
+            "shm-lifecycle", node,
+            "SharedMemory constructed outside core/shm.py — use "
+            "SegmentBundle (owning create) or AttachedSegment (worker "
+            "attach) so unlink-on-close holds even across worker crashes",
+        )
+
     def _check_mutating_method(self, node: ast.Call, chain: list[str]) -> None:
         if len(chain) >= 3 and chain[-1] in _MUTATING_METHODS \
                 and chain[-2] in _FROZEN_WORKSPACE_ATTRS:
@@ -300,6 +335,54 @@ class _Visitor(ast.NodeVisitor):
                 f".{chain[-2]} — derived arrays are shared across "
                 f"worker clones",
             )
+
+    # -- functions: segment creation must carry an unlink path --------------
+
+    @staticmethod
+    def _same_scope(node: ast.AST):
+        """Descendants of ``node`` excluding nested function bodies."""
+        stack = list(ast.iter_child_nodes(node))
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                continue
+            yield sub
+            stack.extend(ast.iter_child_nodes(sub))
+
+    def _check_shm_unlink_path(self, node: ast.AST) -> None:
+        creates: list[ast.Call] = []
+        has_unlink = False
+        for sub in self._same_scope(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            chain = _attr_chain(sub.func)
+            if not chain:
+                continue
+            if chain[-1] == "SharedMemory" and any(
+                kw.arg == "create" and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True for kw in sub.keywords
+            ):
+                creates.append(sub)
+            elif chain[-1] == "unlink":
+                has_unlink = True
+        if not has_unlink:
+            for sub in creates:
+                self._emit(
+                    "shm-lifecycle", sub,
+                    "SharedMemory(create=True) without a matching "
+                    ".unlink() anywhere in this function — a failure "
+                    "between create and the owner's close() leaks the "
+                    "segment in /dev/shm",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_shm_unlink_path(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_shm_unlink_path(node)
+        self.generic_visit(node)
 
     # -- stores: workspace mutation -----------------------------------------
 

@@ -2,7 +2,7 @@
 
 from .batch import run_stack_pipeline, sfft_batch_fused
 from .binning import bin_loop_partition, bin_serial, bin_vectorized
-from .executor import ShardedExecutor
+from .executor import EXECUTOR_MODES, ShardedExecutor
 from .fft_backend import (
     available_backends,
     get_backend,
@@ -20,10 +20,12 @@ from .cutoff import (
 )
 from .dense import dense_fft, dense_topk, reconstruct_time
 from .estimation import (
+    clean_loop_counts,
     componentwise_median,
     estimate_values,
     estimate_values_stack,
     loop_estimates,
+    median_reliable,
 )
 from .exact import ExactSfftStats, sfft_exact
 from .parameters import PROFILES, SfftParameters, derive_parameters
@@ -42,6 +44,7 @@ from .recovery import (
     recover_locations_stack,
 )
 from .sfft import STEP_NAMES, SparseFFTResult, sfft
+from .shm import SegmentBundle, SharedArraySpec
 from .subsampled import bucket_fft, subsample_spectrum
 from .variants import isfft, rsfft, sfft_batch
 from .workspace import GATHER_ELEMENT_CAP, PlanWorkspace
@@ -60,7 +63,9 @@ __all__ = [
     "dense_fft",
     "dense_topk",
     "reconstruct_time",
+    "clean_loop_counts",
     "componentwise_median",
+    "median_reliable",
     "ExactSfftStats",
     "sfft_exact",
     "estimate_values",
@@ -95,6 +100,9 @@ __all__ = [
     "sfft_batch_fused",
     "run_stack_pipeline",
     "ShardedExecutor",
+    "EXECUTOR_MODES",
+    "SegmentBundle",
+    "SharedArraySpec",
     "available_backends",
     "get_backend",
     "register_backend",

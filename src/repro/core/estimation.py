@@ -32,6 +32,8 @@ __all__ = [
     "estimate_values",
     "estimate_values_stack",
     "componentwise_median",
+    "clean_loop_counts",
+    "median_reliable",
 ]
 
 
@@ -74,6 +76,69 @@ def loop_estimates(
     g = filt.freq[(-dist) % n]
     phase = np.exp(-2j * np.pi * taus[None, :] * freqs[:, None].astype(np.float64) / n)
     return n * z / g * phase
+
+
+def clean_loop_counts(
+    frequencies: np.ndarray,
+    permutations: list[Permutation],
+    n: int,
+    B: int,
+) -> np.ndarray:
+    """How many loops estimate each frequency free of cross-contamination.
+
+    A loop is *clean* for frequency ``f`` when no other frequency in
+    ``frequencies`` permutes to within one bucket width ``n/B`` of ``f``'s
+    bucket center.  Inside that window a neighbor either hashes to the
+    same bucket (circular distance ``<= n/(2B)``) or sits in the filter's
+    transition band, where ``G_hat`` has decayed from the flat passband
+    but not yet to the stop-band floor — both bias that loop's estimate
+    for ``f`` far beyond the design tolerance.
+
+    The returned counts ground a deterministic reliability predicate for
+    the componentwise median (see :func:`median_reliable`): the loop
+    schedule is fixed at plan time, so whether a given support is
+    vulnerable is a pure function of ``(locations, permutations, n, B)``
+    — no randomness at execution time.
+    """
+    freqs = np.asarray(frequencies, dtype=np.int64)
+    L = len(permutations)
+    if freqs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any((freqs < 0) | (freqs >= n)):
+        raise ParameterError("frequencies out of range")
+    w = n // B
+    sigmas = np.array([p.sigma for p in permutations], dtype=np.int64)
+    p = (freqs[:, None] * sigmas[None, :]) % n  # (F, L)
+    centers = (((p + w // 2) // w) * w) % n
+    # Circular distance of every frequency's permuted position from every
+    # *other* frequency's bucket center, per loop: (F_center, F_other, L).
+    d = (p[None, :, :] - centers[:, None, :]) % n
+    d = np.minimum(d, n - d)
+    near = d < w
+    idx = np.arange(freqs.size)
+    near[idx, idx, :] = False  # a frequency never contaminates itself
+    dirty = near.any(axis=1)  # (F, L)
+    return np.asarray(L - dirty.sum(axis=1), dtype=np.int64)
+
+
+def median_reliable(
+    frequencies: np.ndarray,
+    permutations: list[Permutation],
+    n: int,
+    B: int,
+) -> np.ndarray:
+    """Whether the median estimate of each frequency is collision-proof.
+
+    ``True`` where a strict majority of loops are clean (see
+    :func:`clean_loop_counts`): the componentwise median of ``L`` loop
+    estimates then falls on or between clean samples in each component,
+    so it inherits the design accuracy.  Where this returns ``False`` the
+    median can be dragged by contaminated loops — the documented
+    probabilistic failure mode of the paper's step 6, not an estimator
+    bug — and only a loose accuracy bound holds.
+    """
+    counts = clean_loop_counts(frequencies, permutations, n, B)
+    return counts > len(permutations) // 2
 
 
 def componentwise_median(estimates: np.ndarray) -> np.ndarray:

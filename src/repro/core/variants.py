@@ -110,10 +110,13 @@ def sfft_batch(
 
     ``executor`` parallelizes the fused engine across shards of the stack:
     pass a :class:`~repro.core.executor.ShardedExecutor`, or an ``int``
-    worker count as shorthand for ``ShardedExecutor(workers=N)``.  Sharded
-    results are bit-identical to the serial fused engine.  ``fft_backend``
-    / ``fft_workers`` keyword arguments select the bucket-FFT
-    implementation (:mod:`repro.core.fft_backend`).
+    worker count as shorthand for ``ShardedExecutor(workers=N)`` (the
+    shorthand inherits the executor's default mode — ``thread``, or
+    whatever ``REPRO_EXECUTOR_MODE`` says; construct the executor
+    explicitly for ``mode="process"``, the shared-memory process pool).
+    Sharded results are bit-identical to the serial fused engine in every
+    mode.  ``fft_backend`` / ``fft_workers`` keyword arguments select the
+    bucket-FFT implementation (:mod:`repro.core.fft_backend`).
 
     Requests the fused engine cannot express (an explicit non-default
     ``binning``, or ``profile=True`` for per-step timing) fall back to the

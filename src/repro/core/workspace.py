@@ -225,6 +225,44 @@ class PlanWorkspace:
         twin._taps_matrix = self._taps_matrix
         return twin
 
+    def adopt_shared(
+        self,
+        *,
+        taps_flat: np.ndarray,
+        gather: np.ndarray | None = None,
+    ) -> None:
+        """Adopt externally shared derived arrays (process-pool workers).
+
+        The process execution mode (:mod:`repro.core.executor`,
+        ``mode="process"``) places the immutable derived arrays in
+        shared memory; worker processes rebuild their workspace around
+        read-only views of those segments instead of recomputing them —
+        the cross-process twin of what :meth:`clone` does for threads.
+        Scratch (``raw``, ``scores``) stays private to this instance.
+
+        ``gather=None`` leaves the gather matrix unmaterialized (the
+        above-cap regime, where rows regenerate on the fly); shapes and
+        dtypes are validated against this workspace's plan so a stale
+        descriptor fails loudly instead of corrupting the transform.
+        """
+        expected = (self._padded,)
+        if taps_flat.shape != expected or taps_flat.dtype != np.complex128:
+            raise ParameterError(
+                f"shared taps_flat must be complex128 {expected}, got "
+                f"{taps_flat.dtype} {taps_flat.shape}"
+            )
+        self._taps_flat = taps_flat
+        self._taps_matrix = taps_flat.reshape(self.rounds, self.B)
+        if gather is not None:
+            gshape = (self.loops, self._padded)
+            if gather.shape != gshape or gather.dtype != np.int64:
+                raise ParameterError(
+                    f"shared gather matrix must be int64 {gshape}, got "
+                    f"{gather.dtype} {gather.shape}"
+                )
+            self._gather = gather
+            self._materialize_gather = True
+
     # -- bucket FFT dispatch -----------------------------------------------
 
     def bucket_fft(self, buckets: np.ndarray) -> np.ndarray:

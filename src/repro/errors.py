@@ -51,5 +51,16 @@ class RecoveryError(ReproError, RuntimeError):
     """
 
 
+class ExecutorError(ReproError, RuntimeError):
+    """A parallel execution backend failed outside the algorithm itself.
+
+    Raised by the sharded executor when the machinery under a run breaks —
+    e.g. a pool worker process dies mid-shard — as opposed to an algorithmic
+    failure inside a shard (those keep their own types, like
+    :class:`RecoveryError`).  The executor guarantees every shared-memory
+    segment it created for the run is unlinked before this propagates.
+    """
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An experiment id is unknown or an experiment run failed."""

@@ -1,11 +1,13 @@
 """Property tests: sharding is invisible — bit for bit, whatever the knobs.
 
 The executor's contract is exact equality with the serial fused engine
-(``locations``, ``values``, ``votes`` — no tolerance) for *every* worker
-count, shard size, and available FFT backend, and float-tolerance
-agreement with the solo per-signal driver.  Any divergence means a stage
-leaked state across shard boundaries (or a backend isn't the pocketfft
-twin it claims to be).
+(``locations``, ``values``, ``votes`` — no tolerance) for *every*
+execution mode (GIL-bound threads and the shared-memory process pool),
+worker count, shard size, and available FFT backend, and
+float-tolerance agreement with the solo per-signal driver.  Any
+divergence means a stage leaked state across shard boundaries, the
+shared-memory descriptors didn't round-trip a plan exactly, or a
+backend isn't the pocketfft twin it claims to be.
 """
 
 import numpy as np
@@ -38,10 +40,11 @@ def _shard_size(choice, S):
     workers=st.sampled_from([1, 2, 4]),
     shard_choice=st.sampled_from(["one", "three", "whole", "default"]),
     backend=st.sampled_from(_BACKENDS),
+    mode=st.sampled_from(["thread", "process"]),
 )
 @settings(max_examples=20, deadline=None)
 def test_executor_bit_identical_to_fused(
-    logn, k, S, seed, workers, shard_choice, backend
+    logn, k, S, seed, workers, shard_choice, backend, mode
 ):
     n = 1 << logn
     plan = cached_plan(n, k)
@@ -51,6 +54,7 @@ def test_executor_bit_identical_to_fused(
         workers=workers,
         shard_size=_shard_size(shard_choice, S),
         fft_backend=backend,
+        mode=mode,
     )
     sharded = ex.run(X, plan)
     assert len(sharded) == S
@@ -75,13 +79,16 @@ def test_executor_bit_identical_to_fused(
     S=st.integers(min_value=1, max_value=4),
     seed=st.integers(min_value=0, max_value=2**16),
     workers=st.sampled_from([2, 4]),
+    mode=st.sampled_from(["thread", "process"]),
 )
 @settings(max_examples=10, deadline=None)
-def test_executor_matches_solo_driver(logn, k, S, seed, workers):
+def test_executor_matches_solo_driver(logn, k, S, seed, workers, mode):
     n = 1 << logn
     plan = cached_plan(n, k)
     X = _stack(n, k, S, seed)
-    sharded = ShardedExecutor(workers=workers, shard_size=1).run(X, plan)
+    sharded = ShardedExecutor(
+        workers=workers, shard_size=1, mode=mode
+    ).run(X, plan)
     for s in range(S):
         solo = sfft(X[s], plan=plan)
         np.testing.assert_array_equal(sharded[s].locations, solo.locations)
@@ -95,18 +102,20 @@ def test_executor_matches_solo_driver(logn, k, S, seed, workers):
     S=st.integers(min_value=1, max_value=4),
     seed=st.integers(min_value=0, max_value=2**16),
     workers=st.sampled_from([1, 2, 4]),
+    mode=st.sampled_from(["thread", "process"]),
 )
 @settings(max_examples=8, deadline=None)
-def test_executor_bit_identical_with_comb(S, seed, workers):
+def test_executor_bit_identical_with_comb(S, seed, workers, mode):
     # Comb masks are Generator-seeded and data-dependent; the executor
-    # builds them serially in stack order, so an integer seed must yield
-    # the exact serial-engine masks regardless of sharding.
+    # builds them serially in stack order (process mode ships them to
+    # workers through the shared data segment), so an integer seed must
+    # yield the exact serial-engine masks regardless of sharding or mode.
     n, k = 2048, 4
     plan = cached_plan(n, k)
     X = _stack(n, k, S, seed)
     kwargs = dict(comb_width=n >> 4, seed=seed)
     serial = sfft_batch_fused(X, plan, **kwargs)
-    sharded = ShardedExecutor(workers=workers, shard_size=1).run(
+    sharded = ShardedExecutor(workers=workers, shard_size=1, mode=mode).run(
         X, plan, **kwargs
     )
     for s in range(S):

@@ -119,11 +119,19 @@ def test_sfft_exact_recovery_property(n, k, seed):
     """End-to-end: any well-separated k-sparse signal is recovered exactly.
 
     Value accuracy holds at the design tolerance whenever the filter fits
-    (``k << n / log n``); when the plan had to cap the filter support (a
-    not-really-sparse problem), locations must still be found but values
-    are only checked loosely — the documented degradation.
+    (``k << n / log n``) *and* the median estimator has a strict majority
+    of clean loops for the frequency (``median_reliable``).  A capped
+    filter (a not-really-sparse problem) or an unlucky permutation draw
+    that collides a frequency in most loops degrades only the value — the
+    paper's probabilistic estimation guarantee, not a bug — so those
+    coefficients get the documented loose bound.  Both predicates are
+    deterministic functions of the drawn ``(n, k, seed)``, so this test
+    never flakes: e.g. ``(2048, 5, 1290)`` leaves f=280 with 3 clean
+    loops of 7 (see the regression test in
+    ``tests/unit/test_estimation_reliability.py``) and is checked at the
+    loose bound by construction.
     """
-    from repro.core import make_plan, sfft
+    from repro.core import make_plan, median_reliable, sfft
     from repro.signals import make_sparse_signal
 
     sep = n // (4 * k)
@@ -133,7 +141,11 @@ def test_sfft_exact_recovery_property(n, k, seed):
     plan = make_plan(n, k, seed=seed ^ 0xABCDEF)
     res = sfft(sig.time, plan=plan)
     assert set(res.locations.tolist()) == set(sig.locations.tolist())
-    tol = 0.35 if plan.filter_capped else 1e-4
+    reliable = dict(zip(
+        sig.locations.tolist(),
+        median_reliable(sig.locations, plan.permutations, n, plan.B),
+    ))
     for f, v in res.as_dict().items():
         truth = sig.values[list(sig.locations).index(f)]
+        tol = 1e-4 if (reliable[f] and not plan.filter_capped) else 0.35
         assert abs(v - truth) < tol * abs(truth)

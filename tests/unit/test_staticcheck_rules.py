@@ -206,6 +206,82 @@ class TestSpanOrphan:
         assert lint_source(src, path="a.py", relpath="core/a.py") == []
 
 
+class TestShmLifecycle:
+    def test_ctor_outside_owner_is_flagged(self):
+        findings = _lint("""
+            from multiprocessing import shared_memory
+            seg = shared_memory.SharedMemory(name="x")
+        """)
+        assert _rules(findings) == ["shm-lifecycle"]
+        assert "core/shm.py" in findings[0].message
+
+    def test_bare_name_ctor_is_flagged(self):
+        findings = _lint("""
+            from multiprocessing.shared_memory import SharedMemory
+            seg = SharedMemory(name="x")
+        """, relpath="obs/export.py")
+        assert _rules(findings) == ["shm-lifecycle"]
+
+    def test_create_without_unlink_in_owner_is_flagged(self):
+        findings = _lint("""
+            from multiprocessing import shared_memory
+            def build():
+                return shared_memory.SharedMemory(create=True, size=8)
+        """, relpath="core/shm.py")
+        assert _rules(findings) == ["shm-lifecycle"]
+        assert "unlink" in findings[0].message
+
+    def test_create_with_unlink_path_in_owner_is_clean(self):
+        assert _lint("""
+            from multiprocessing import shared_memory
+            def build():
+                seg = shared_memory.SharedMemory(create=True, size=8)
+                try:
+                    fill(seg)
+                except Exception:
+                    seg.close()
+                    seg.unlink()
+                    raise
+                return seg
+        """, relpath="core/shm.py") == []
+
+    def test_create_outside_owner_is_doubly_wrong(self):
+        # A creating function elsewhere trips both halves of the rule:
+        # wrong module *and* no unlink path.
+        findings = _lint("""
+            from multiprocessing import shared_memory
+            def build():
+                return shared_memory.SharedMemory(create=True, size=8)
+        """)
+        assert _rules(findings) == ["shm-lifecycle", "shm-lifecycle"]
+
+    def test_nested_function_scopes_are_independent(self):
+        # The unlink lives in a nested closure the creating scope never
+        # reaches; the create is still flagged.
+        findings = _lint("""
+            from multiprocessing import shared_memory
+            def build():
+                seg = shared_memory.SharedMemory(create=True, size=8)
+                def cleanup():
+                    seg.unlink()
+                return seg
+        """, relpath="core/shm.py")
+        assert _rules(findings) == ["shm-lifecycle"]
+
+    def test_attach_in_owner_is_clean(self):
+        assert _lint("""
+            from multiprocessing import shared_memory
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+        """, relpath="core/shm.py") == []
+
+    def test_suppressible(self):
+        src = ("from multiprocessing.shared_memory import SharedMemory\n"
+               "seg = SharedMemory(name='x')  "
+               "# reprolint: ignore[shm-lifecycle]\n")
+        assert lint_source(src, path="a.py", relpath="core/a.py") == []
+
+
 class TestBareValueError:
     def test_raise_valueerror_is_flagged(self):
         findings = _lint('raise ValueError("bad")\n')
@@ -294,7 +370,7 @@ class TestFindingSchema:
         assert set(RULES) == {
             "fft-registry-bypass", "metric-name-family",
             "workspace-mutation", "wallclock-in-core", "bare-valueerror",
-            "telemetry-thread-safety", "span-orphan",
+            "telemetry-thread-safety", "span-orphan", "shm-lifecycle",
         }
         for rule in RULES.values():
             assert rule.summary and rule.rationale
