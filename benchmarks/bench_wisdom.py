@@ -1,0 +1,137 @@
+"""Tuned (wisdom) configurations vs paper defaults, re-measured live.
+
+Reads the committed ``WISDOM.json`` store, and for every workload class it
+holds re-measures the tuned pick head-to-head against the paper-default
+configuration using the tuner's own measurement engine (reps-amortized
+trials, exactness screen).  The claims under test:
+
+* **never worse** — on every class the tuned median stays within a noise
+  band of the default (tuning that loses must not have been persisted);
+* **really faster somewhere** — at least one class shows a strict
+  improvement, so the store is earning its keep;
+* **still exact** — every tuned configuration recovers every probe
+  support (tuning changes speed, never results).
+
+The measured walls land in ``BENCH_RUNS.jsonl`` as a ``repro.run/1``
+record (``bench-wisdom``); the wall-clock keys are machine-dependent and
+classed ``wall`` by the regression gate (advisory), never ``modeled``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from conftest import BENCH_JSONL
+from repro.obs import make_run_record, write_jsonl
+from repro.tune import (
+    TuneConfig,
+    WorkloadClass,
+    candidate_from_config,
+    load_wisdom,
+    measure_candidate,
+    parse_class_key,
+)
+from repro.tune.candidates import Candidate
+from repro.tune.tuner import _probe_signals
+
+WISDOM_PATH = os.path.join(os.path.dirname(__file__), "..", "WISDOM.json")
+
+#: Re-measurement budget: amortized samples, same engine the tuner used.
+_CONFIG = TuneConfig(trials=7, probes=2, target_span_s=0.02)
+
+#: A re-measured tuned median may not exceed default * (1 + this) on any
+#: class; at least one class must beat default * (1 - this).  Generous on
+#: the "never worse" side (two medians on a busy host), strict enough on
+#: the win side that timer jitter cannot satisfy it.
+_NOISE_BAND = 0.08
+
+
+def _latest_per_class(records):
+    latest = {}
+    for record in records:
+        prev = latest.get(record["class"])
+        if prev is None or record["version"] > prev["version"]:
+            latest[record["class"]] = record
+    return latest
+
+
+@pytest.fixture(scope="module")
+def wisdom_records():
+    records = load_wisdom(WISDOM_PATH)
+    if not records:
+        pytest.skip("no committed WISDOM.json store to benchmark")
+    return _latest_per_class(records)
+
+
+def test_tuned_vs_default_recorded(wisdom_records):
+    """Re-measure every stored class; tuned >= default, strictly better
+    somewhere, and everything exact."""
+    per_class = {}
+    for cls, record in sorted(wisdom_records.items()):
+        n, k, noise, batch = parse_class_key(cls)
+        wc = WorkloadClass(n, k, noise, batch)
+        xs, truths = _probe_signals(wc, _CONFIG, 2016)
+
+        # Warmup sweep (discarded): both legs then measure steady-state.
+        warm = replace(_CONFIG, trials=1)
+        measure_candidate(wc, Candidate(), xs, truths, warm, seed=2016)
+
+        default = measure_candidate(wc, Candidate(), xs, truths, _CONFIG,
+                                    seed=2016)
+        tuned_cand = candidate_from_config(record["config"])
+        if tuned_cand.is_default:
+            # Tuning found no real winner for this class and persisted
+            # the default itself; the legs are the same configuration,
+            # so a second measurement could only differ by jitter.
+            tuned = default
+        else:
+            tuned = measure_candidate(wc, tuned_cand, xs, truths, _CONFIG,
+                                      seed=2016)
+
+        assert default.exact, f"{cls}: default failed its own probes"
+        assert tuned.exact, (
+            f"{cls}: tuned config lost exactness — wisdom must never "
+            f"change results"
+        )
+        per_class[cls] = (default, tuned)
+        print(f"\nwisdom {cls}: default {default.median_s * 1e3:.2f} ms "
+              f"vs tuned {tuned.median_s * 1e3:.2f} ms "
+              f"({default.median_s / tuned.median_s:.2f}x, "
+              f"config {tuned.label})")
+
+    losers = {
+        cls: (d.median_s, t.median_s)
+        for cls, (d, t) in per_class.items()
+        if t.median_s > d.median_s * (1.0 + _NOISE_BAND)
+    }
+    winners = [
+        cls for cls, (d, t) in per_class.items()
+        if t.median_s < d.median_s * (1.0 - _NOISE_BAND)
+    ]
+
+    if BENCH_JSONL:
+        results = {}
+        for cls, (d, t) in per_class.items():
+            slug = cls.replace("|", "_").replace("=", "")
+            results[f"default_wall_s_{slug}"] = d.median_s
+            results[f"tuned_wall_s_{slug}"] = t.median_s
+            results[f"speedup_x_{slug}"] = d.median_s / t.median_s
+        record = make_run_record(
+            "bench-wisdom",
+            params={"classes": len(per_class), "trials": _CONFIG.trials,
+                    "store": "WISDOM.json"},
+            results=results,
+        )
+        write_jsonl(BENCH_JSONL, record)
+
+    assert not losers, (
+        f"tuned config measurably slower than default on {losers} — "
+        f"stale wisdom should have been re-tuned"
+    )
+    assert winners, (
+        "no class shows a strict tuned-over-default win; the committed "
+        "wisdom store is not earning its keep"
+    )

@@ -106,6 +106,17 @@ def pytest_sessionstart(session):
 
 
 def pytest_sessionfinish(session, exitstatus):
+    """Trajectory append, then opt-in compaction.
+
+    Pruning honours ``REPRO_BENCH_PRUNE`` even when the trajectory leg is
+    disabled (CI's bench gate runs with ``REPRO_BENCH_TRAJECTORY=""`` but
+    still wants ``BENCH_RUNS.jsonl`` deduplicated).
+    """
+    _append_session_trajectory(session)
+    _maybe_prune()
+
+
+def _append_session_trajectory(session) -> None:
     """Append this session's run records to the performance trajectory.
 
     Only records the session itself appended to ``BENCH_JSONL`` become
@@ -137,7 +148,6 @@ def pytest_sessionfinish(session, exitstatus):
         return
     if appended:
         print(f"\n[repro] appended {appended} point(s) to {BENCH_TRAJECTORY}")
-    _maybe_prune()
 
 
 def _maybe_prune() -> None:

@@ -19,6 +19,11 @@ With no paths, scans the repository root for ``BENCH_*.json`` files and
   declaring ``"repro.attrib/1"`` are validated as regression-attribution
   records (``repro.obs.validate_attrib_record``, the output of
   ``python -m repro why --json`` / ``bench_gate.py --attrib``); all
+  ``python -m repro why --json`` / ``bench_gate.py --attrib``); lines
+  declaring ``"repro.wisdom/1"`` are validated as auto-tuner wisdom
+  entries (``repro.tune.validate_wisdom_record``, the output of
+  ``python -m repro tune --json``), with per-class version monotonicity
+  enforced across the whole file; all
   other lines must be valid ``repro.run/1`` records (see
   ``repro.obs.validate_run_record`` — one schema, shared with the
   library so CI and the writer cannot drift);
@@ -26,6 +31,8 @@ With no paths, scans the repository root for ``BENCH_*.json`` files and
   geometry and positive ``wall_s_workers_<N>`` walls (the executor
   scaling curve), and a ``params.mode`` of ``thread``/``process`` when
   present (records predate the process-pool executor);
+* ``WISDOM.json`` (the committed auto-tuner store) is JSONL despite its
+  extension and is validated line-by-line like any other wisdom stream;
 * ``LINT_BASELINE.json`` (the static-analysis gate's artifact) must be a
   valid ``repro.lintbase/1`` fingerprint snapshot;
 * ``BENCH_*.json`` declaring ``"schema": "repro.baseline/1"`` or
@@ -65,6 +72,10 @@ from repro.obs import (  # noqa: E402
     validate_run_record,
     validate_telemetry_record,
     validate_trajectory,
+)
+from repro.tune import (  # noqa: E402
+    WISDOM_SCHEMA,
+    validate_wisdom_record,
 )
 
 LINT_BASELINE_SCHEMA = "repro.lintbase/1"
@@ -118,6 +129,8 @@ def check_executor_record(record: dict) -> list[str]:
 def check_jsonl(path: str) -> list[str]:
     """Problems found in a JSONL run-record file."""
     problems: list[str] = []
+    #: class key -> last seen version, for cross-line monotonicity.
+    wisdom_versions: dict[str, int] = {}
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -127,6 +140,23 @@ def check_jsonl(path: str) -> list[str]:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
                 problems.append(f"{path}:{lineno}: not JSON ({exc})")
+                continue
+            if isinstance(record, dict) \
+                    and record.get("schema") == WISDOM_SCHEMA:
+                issues = validate_wisdom_record(record)
+                for issue in issues:
+                    problems.append(f"{path}:{lineno}: {issue}")
+                if not issues:
+                    cls, version = record["class"], record["version"]
+                    last = wisdom_versions.get(cls)
+                    if last is not None and version <= last:
+                        problems.append(
+                            f"{path}:{lineno}: wisdom version {version} for "
+                            f"class {cls!r} is not monotonically increasing "
+                            f"(last seen {last})"
+                        )
+                    wisdom_versions[cls] = max(version,
+                                               wisdom_versions.get(cls, 0))
                 continue
             if isinstance(record, dict) and record.get("schema") == LINT_SCHEMA:
                 for issue in validate_lint_record(record):
@@ -215,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
     paths = args or sorted(
         glob.glob(os.path.join(_ROOT, "BENCH_*.json"))
         + glob.glob(os.path.join(_ROOT, "LINT_BASELINE.json"))
+        + glob.glob(os.path.join(_ROOT, "WISDOM.json"))
         + glob.glob(os.path.join(_ROOT, "*.jsonl"))
     )
     if not paths:
@@ -225,7 +256,10 @@ def main(argv: list[str] | None = None) -> int:
         if not os.path.exists(path):
             print(f"check_bench_json: no such file: {path}", file=sys.stderr)
             return 2
-        if path.endswith(".jsonl"):
+        if path.endswith(".jsonl") \
+                or os.path.basename(path) == "WISDOM.json":
+            # The wisdom store is JSONL despite the .json extension
+            # (append-only atomic writes want line granularity).
             problems += check_jsonl(path)
         elif os.path.basename(path) == "LINT_BASELINE.json":
             problems += check_lint_baseline(path)

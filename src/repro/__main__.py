@@ -776,6 +776,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.staticcheck.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["tune"]:
+        from .tune.cli import tune_main
+
+        return tune_main(argv[1:])
     parser = _build_parser()
     try:
         args = parser.parse_args(argv)
@@ -801,6 +805,13 @@ def main(argv: list[str] | None = None) -> int:
 
     tracer = Tracer()
     metrics = MetricsRegistry()
+
+    # Echo where the transform's configuration came from (explicit kwargs,
+    # the wisdom store, environment overrides, or paper defaults) so a
+    # `--json` record proves wisdom consumption end to end.
+    from .core.params import resolve_sfft_config
+
+    demo_resolved = resolve_sfft_config(n, k)
 
     sig = make_sparse_signal(n, k, seed=2016)
     t0 = time.perf_counter()
@@ -867,6 +878,9 @@ def main(argv: list[str] | None = None) -> int:
             "repro-demo",
             params={"n": n, "k": k, "n_log2": logn,
                     "fft_backend": fft_backend, "workers": args.workers,
+                    "config_source": demo_resolved.source,
+                    **({"wisdom_class": demo_resolved.class_key}
+                       if demo_resolved.class_key is not None else {}),
                     **({"executor_mode": batch_stats["mode"]}
                        if batch_stats is not None else {})},
             tracer=tracer,
@@ -897,6 +911,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"repro: sparse FFT of an exactly {k}-sparse signal, n = 2^{logn}")
     print(f"  fft backend: {fft_backend}")
+    print(f"  config source: {demo_resolved.source}"
+          + (f" ({demo_resolved.class_key})"
+             if demo_resolved.class_key is not None else ""))
     print(f"  recovery: {'exact' if ok else 'INCOMPLETE'}  "
           f"(L1/coeff = {err:.2e})")
     print(f"  wall-clock: sfft {t_sparse * 1e3:.1f} ms vs numpy.fft "

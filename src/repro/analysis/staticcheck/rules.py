@@ -33,6 +33,13 @@ by path relative to the ``repro`` package root (posix separators):
   explicit ``track=`` lands on the default CPU track, where the
   critical-path engine (:mod:`repro.obs.critical`) will treat it as
   serial CPU work and misattribute overlap (the PR-7 DAG contract).
+* ``param-resolution-bypass`` — the sFFT bucket count and loop count are
+  resolved through one seam (``core/params.py``: explicit kwargs > wisdom
+  store > environment > paper defaults).  A hardcoded ``B=``/``loops=``
+  literal handed to plan or parameter construction outside that seam (and
+  outside the tuner's candidate generator, which *produces* the grid)
+  silently pins a configuration the wisdom store can never improve.
+  Exempt: ``core/params.py``, ``core/parameters.py``, ``tune/``.
 * ``shm-lifecycle`` — ``multiprocessing.shared_memory`` segments are
   kernel-persistent objects: a leaked name survives the process in
   ``/dev/shm``.  Only ``core/shm.py`` (the PR-8 ownership layer —
@@ -118,6 +125,15 @@ RULES: dict[str, Rule] = {r.id: r for r in (
         "DAG stays reconstructible.",
     ),
     Rule(
+        "param-resolution-bypass", "error",
+        "hardcoded B=/loops= literal outside the resolution seam",
+        "Bucket and loop counts resolve through repro.core.params "
+        "(explicit > wisdom > env > defaults); a constant B=/loops= "
+        "keyword in plan or parameter construction pins a configuration "
+        "the measured wisdom store can never improve.  Thread the value "
+        "through the seam, or suppress where a fixed grid is the point.",
+    ),
+    Rule(
         "shm-lifecycle", "error",
         "SharedMemory constructed outside core/shm.py, or created "
         "without an unlink path",
@@ -155,6 +171,12 @@ _CLOCK_FUNCS = frozenset({"time", "perf_counter", "monotonic",
 _TELEMETRY_INTERNALS = frozenset({"_instruments", "_subscribers", "_ring"})
 #: The one module allowed to construct SharedMemory (see core/shm.py).
 _SHM_OWNER = "core/shm.py"
+#: Callables that consume raw B=/loops= keywords (plan/param construction).
+_PARAM_SINKS = frozenset({
+    "SfftParameters", "derive_parameters", "make_plan", "cached_plan",
+    "get_or_make", "dict",
+})
+_PARAM_KEYS = frozenset({"B", "loops"})
 
 #: Per-rule path exemptions (exact file, or a trailing-slash prefix).
 _EXEMPT = {
@@ -163,6 +185,11 @@ _EXEMPT = {
     "telemetry-thread-safety": ("obs/",),
     # obs/ builds tracers and ingests timelines; it owns track semantics.
     "span-orphan": ("obs/",),
+    # The seam itself, the derivation it wraps, and the tuner's candidate
+    # grid (which exists to enumerate B/loops values) own the literals.
+    "param-resolution-bypass": (
+        "core/params.py", "core/parameters.py", "tune/",
+    ),
 }
 #: wallclock-in-core only *applies* to these subtrees.
 _WALLCLOCK_SCOPE = ("core/", "gpu/")
@@ -251,7 +278,22 @@ class _Visitor(ast.NodeVisitor):
             self._check_mutating_method(node, chain)
             self._check_span_orphan(node, chain)
             self._check_shm_ctor(node, chain)
+            self._check_param_bypass(node, chain)
         self.generic_visit(node)
+
+    def _check_param_bypass(self, node: ast.Call, chain: list[str]) -> None:
+        if chain[-1] not in _PARAM_SINKS:
+            return
+        for kw in node.keywords:
+            if kw.arg in _PARAM_KEYS and isinstance(kw.value, ast.Constant) \
+                    and kw.value.value is not None:
+                self._emit(
+                    "param-resolution-bypass", node,
+                    f"hardcoded {kw.arg}={kw.value.value!r} in "
+                    f"{chain[-1]}() — resolve through repro.core.params "
+                    f"(explicit > wisdom > env > defaults) so the wisdom "
+                    f"store stays authoritative",
+                )
 
     def _check_fft(self, node: ast.Call, chain: list[str]) -> None:
         if len(chain) < 2 or chain[-1] not in _TRANSFORMS:

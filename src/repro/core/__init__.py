@@ -29,6 +29,14 @@ from .estimation import (
 )
 from .exact import ExactSfftStats, sfft_exact
 from .parameters import PROFILES, SfftParameters, derive_parameters
+from .params import (
+    ENV_B,
+    ENV_LOOPS,
+    ENV_WISDOM,
+    RESOLUTION_SOURCES,
+    ResolvedConfig,
+    resolve_sfft_config,
+)
 from .permutation import (
     Permutation,
     permute_dense,
@@ -74,6 +82,12 @@ __all__ = [
     "PROFILES",
     "SfftParameters",
     "derive_parameters",
+    "ENV_B",
+    "ENV_LOOPS",
+    "ENV_WISDOM",
+    "RESOLUTION_SOURCES",
+    "ResolvedConfig",
+    "resolve_sfft_config",
     "Permutation",
     "permute_dense",
     "permuted_indices",

@@ -596,32 +596,52 @@ class ShardedExecutor:
         )
 
         try:
-            pool = _process_pool(nw, self.start_method)
             submits: list[float] = []
-            futures = []
-            for idx, (lo, hi) in enumerate(bounds):
-                submits.append(monotonic())
-                futures.append(pool.submit(
-                    _process_shard, desc, data_bundle.specs, idx, lo, hi,
-                    options, tracer is not None, kill_idx == idx,
-                ))
-            # Wait for *all* shards before raising anything: no worker may
-            # attach after the segments are unlinked below.
-            wait(futures)
-            error = next(
-                (f.exception() for f in futures if f.exception()), None
-            )
-            if error is not None:
+            futures: list = []
+            for attempt in range(2):
+                pool = _process_pool(nw, self.start_method)
+                submits = []
+                futures = []
+                broken_at_submit: BrokenProcessPool | None = None
+                try:
+                    for idx, (lo, hi) in enumerate(bounds):
+                        submits.append(monotonic())
+                        futures.append(pool.submit(
+                            _process_shard, desc, data_bundle.specs, idx,
+                            lo, hi, options, tracer is not None,
+                            kill_idx == idx,
+                        ))
+                except BrokenProcessPool as exc:
+                    # The pool broke while shards were still being
+                    # submitted: either an earlier run's casualty left a
+                    # poisoned pool in the cache, or this run's own dying
+                    # worker raced the submit loop.  Either way the pool
+                    # must not survive in the cache.
+                    broken_at_submit = exc
+                # Wait for *all* shards before raising anything: no worker
+                # may attach after the segments are unlinked below.
+                wait(futures)
+                error = broken_at_submit or next(
+                    (f.exception() for f in futures if f.exception()), None
+                )
                 if isinstance(error, BrokenProcessPool):
                     registry.counter("sfft.executor.worker_failures").inc()
                     _discard_pool(nw, self.start_method)
+                    if broken_at_submit is not None and attempt == 0:
+                        # Submit-time breakage can predate this run (a
+                        # stale poisoned pool); one retry on a fresh pool
+                        # separates that from a genuine worker death,
+                        # which will break again and error out below.
+                        continue
                     raise ExecutorError(
                         f"a worker process died mid-run "
                         f"(mode=process, workers={nw}, "
                         f"start_method={self.start_method}); shared "
                         f"segments unlinked, pool discarded"
                     ) from error
-                raise error
+                if error is not None:
+                    raise error
+                break
             payloads = [f.result() for f in futures]
 
             # Copy result rows out of the shared output block *before* the

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from ..utils.rng import RngLike
+from .fft_backend import default_backend_name
 from .parameters import SfftParameters, derive_parameters
 from .plan import SfftPlan, make_plan
 
@@ -74,12 +75,18 @@ class PlanCache:
         n: int, k: int, seed: RngLike, params: SfftParameters | None,
         overrides: dict,
     ) -> tuple | None:
-        """Resolved cache key, or ``None`` when the call is uncacheable."""
+        """Resolved cache key, or ``None`` when the call is uncacheable.
+
+        The key includes the *resolved* default FFT backend name: a plan's
+        lazily built workspace caches backend-sized scratch, and a
+        wisdom- or env-driven backend switch mid-process must never be
+        served a workspace planned under the previous backend.
+        """
         if isinstance(seed, np.random.Generator):
             return None
         if params is None:
             params = derive_parameters(n, k, **overrides)
-        return (*astuple(params), seed)
+        return (*astuple(params), seed, default_backend_name())
 
     def get_or_make(
         self,

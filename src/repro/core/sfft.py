@@ -28,6 +28,7 @@ from .binning import bin_loop_partition, bin_serial, bin_vectorized
 from .comb import comb_approved_residues
 from .cutoff import cutoff_rows
 from .estimation import estimate_values
+from .params import resolve_sfft_config
 from .plan import SfftPlan
 from .plan_cache import cached_plan
 from .recovery import recover_locations
@@ -188,7 +189,15 @@ def sfft(
         if k is None:
             raise ParameterError("either k or a plan must be provided")
         x = as_complex_signal(x)
-        plan = cached_plan(x.size, k, seed=seed, **plan_overrides)
+        # The resolution seam: explicit overrides win verbatim; otherwise
+        # a configured wisdom store, then env pins, then paper defaults
+        # (see repro.core.params).
+        resolved = resolve_sfft_config(
+            x.size, k, explicit=plan_overrides, comb_width=comb_width,
+        )
+        if comb_width is None:
+            comb_width = resolved.comb_width
+        plan = cached_plan(x.size, k, seed=seed, **resolved.overrides)
     else:
         x = as_complex_signal(x, plan.n)
         if k is None:

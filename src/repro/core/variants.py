@@ -21,6 +21,7 @@ from ..errors import ParameterError
 from ..utils.rng import RngLike
 from ..utils.validation import as_complex_signal
 from .batch import sfft_batch_fused
+from .params import resolve_sfft_config
 from .plan import SfftPlan
 from .plan_cache import cached_plan
 from .sfft import SparseFFTResult, sfft
@@ -142,9 +143,39 @@ def sfft_batch(
     if plan is None:
         if k is None:
             raise ParameterError("either k or a plan must be provided")
-        plan = cached_plan(n, k, seed=seed, **{
+        plan_kwargs = {
             key: val for key, val in kwargs.items() if key not in _EXEC_KEYS
-        })
+        }
+        # The resolution seam (repro.core.params): a wisdom hit supplies
+        # B/loops/comb for the plan plus — because the batch surface owns
+        # them — the execution knobs (backend, executor mode, workers,
+        # shard size), never overriding anything the caller pinned.
+        resolved = resolve_sfft_config(
+            n, k, batch_size=len(rows), explicit=plan_kwargs,
+            comb_width=kwargs.get("comb_width"),
+        )
+        plan = cached_plan(n, k, seed=seed, **resolved.overrides)
+        if resolved.source == "wisdom":
+            if kwargs.get("comb_width") is None \
+                    and resolved.comb_width is not None:
+                kwargs["comb_width"] = resolved.comb_width
+            explicit_exec = (
+                executor is not None
+                or kwargs.get("fft_backend") is not None
+                or kwargs.get("fft_workers") is not None
+            )
+            if not explicit_exec:
+                if resolved.executor_mode is not None or resolved.workers > 1:
+                    from .executor import ShardedExecutor
+
+                    executor = ShardedExecutor(
+                        workers=resolved.workers,
+                        shard_size=resolved.shard_size,
+                        fft_backend=resolved.fft_backend,
+                        mode=resolved.executor_mode,
+                    )
+                elif resolved.fft_backend is not None:
+                    kwargs["fft_backend"] = resolved.fft_backend
     exec_kwargs = {
         key: val for key, val in kwargs.items() if key in _EXEC_KEYS
     }

@@ -26,7 +26,9 @@ __all__ = [
 #: Transform parameterization matching the reference implementation's
 #: economics (Section VI): B = sqrt(n*k/log2 n) exactly, L = 6 loops,
 #: cutoff keeps k buckets, 1e-6 filter tolerance.
-PAPER_TRANSFORM_KWARGS = dict(profile="fast", loops=6, bucket_constant=1.0)
+PAPER_TRANSFORM_KWARGS = dict(  # reprolint: ignore[param-resolution-bypass]
+    profile="fast", loops=6, bucket_constant=1.0
+)
 
 #: Figure 5(a)/(c)/(d)/(e): n from 2^18 to 2^27 at k = 1000.
 PAPER_SWEEP_N = [1 << p for p in range(18, 28)]

@@ -162,6 +162,33 @@ class TestWorkerCrash:
         # The broken pool was discarded; a fresh one serves the next run.
         _assert_identical(ex.run(stack, plan), sfft_batch_fused(stack, plan))
 
+    def test_poisoned_cached_pool_is_replaced_transparently(self, stack,
+                                                            plan):
+        # Break the cached pool behind the executor's back (what an
+        # OOM-killed idle worker, or a crash racing a previous run's
+        # submit loop, leaves behind).  The next run must detect the
+        # submit-time breakage, discard the poisoned pool, and retry on
+        # a fresh one — not surface a raw BrokenProcessPool.
+        import time
+
+        from repro.core.executor import _process_pool
+
+        ex = ShardedExecutor(workers=2, shard_size=2, mode="process")
+        pool = _process_pool(2, ex.start_method)
+        pool.submit(os.getpid).result()  # workers definitely up
+        for proc in list(pool._processes.values()):
+            proc.kill()
+        deadline = time.monotonic() + 10.0
+        while not pool._broken and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pool._broken, "pool never noticed its killed workers"
+
+        registry = MetricsRegistry()
+        out = ex.run(stack, plan, metrics=registry)
+        _assert_identical(out, sfft_batch_fused(stack, plan))
+        snap = registry.snapshot()
+        assert snap["sfft.executor.worker_failures"]["value"] >= 1
+
 
 class TestStartMethodDeterminism:
     @pytest.mark.skipif(

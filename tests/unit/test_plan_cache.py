@@ -67,6 +67,23 @@ class TestKeying:
         assert p1 is p2
         assert cache.stats()["hits"] == 1
 
+    def test_default_backend_is_part_of_the_key(self):
+        # A plan's lazily built workspace caches backend-sized scratch; a
+        # wisdom- or env-driven backend switch mid-process must never be
+        # served a workspace planned under the previous backend.
+        from repro.core.fft_backend import set_default_backend
+
+        cache = PlanCache()
+        try:
+            set_default_backend("numpy")
+            p1 = cache.get_or_make(N, K, seed=1)
+            set_default_backend("scipy")
+            p2 = cache.get_or_make(N, K, seed=1)
+        finally:
+            set_default_backend(None)
+        assert p1 is not p2
+        assert cache.stats()["misses"] == 2 and len(cache) == 2
+
     def test_generator_seed_bypasses_cache(self):
         cache = PlanCache()
         rng = np.random.default_rng(3)

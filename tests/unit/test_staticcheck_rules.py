@@ -206,6 +206,44 @@ class TestSpanOrphan:
         assert lint_source(src, path="a.py", relpath="core/a.py") == []
 
 
+class TestParamResolutionBypass:
+    def test_constant_loops_in_make_plan_is_flagged(self):
+        findings = _lint("plan = make_plan(n, k, loops=6)\n")
+        assert _rules(findings) == ["param-resolution-bypass"]
+        assert "loops=6" in findings[0].message
+
+    def test_constant_b_in_derive_parameters_is_flagged(self):
+        findings = _lint("p = derive_parameters(n, k, B=256)\n")
+        assert _rules(findings) == ["param-resolution-bypass"]
+
+    def test_constant_in_dict_kwargs_bundle_is_flagged(self):
+        findings = _lint('KW = dict(profile="fast", loops=6)\n',
+                         relpath="experiments/base.py")
+        assert _rules(findings) == ["param-resolution-bypass"]
+
+    def test_threaded_value_is_clean(self):
+        assert _lint("plan = make_plan(n, k, **resolved.overrides)\n") == []
+        assert _lint("plan = make_plan(n, k, loops=cfg.loops)\n") == []
+
+    def test_explicit_none_is_clean(self):
+        # loops=None means "derive the default" — not a pinned value.
+        assert _lint("p = derive_parameters(n, k, loops=None)\n") == []
+
+    def test_unrelated_callable_is_clean(self):
+        assert _lint("obj = Candidate(loops=6)\n") == []
+
+    def test_seam_and_tuner_are_exempt(self):
+        src = "p = derive_parameters(n, k, loops=6)\n"
+        assert _lint(src, relpath="core/params.py") == []
+        assert _lint(src, relpath="core/parameters.py") == []
+        assert _lint(src, relpath="tune/candidates.py") == []
+
+    def test_suppressible(self):
+        src = ("KW = dict(loops=6)  "
+               "# reprolint: ignore[param-resolution-bypass]\n")
+        assert lint_source(src, path="a.py", relpath="core/a.py") == []
+
+
 class TestShmLifecycle:
     def test_ctor_outside_owner_is_flagged(self):
         findings = _lint("""
@@ -371,6 +409,7 @@ class TestFindingSchema:
             "fft-registry-bypass", "metric-name-family",
             "workspace-mutation", "wallclock-in-core", "bare-valueerror",
             "telemetry-thread-safety", "span-orphan", "shm-lifecycle",
+            "param-resolution-bypass",
         }
         for rule in RULES.values():
             assert rule.summary and rule.rationale
