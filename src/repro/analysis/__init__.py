@@ -1,20 +1,40 @@
-"""Accuracy metrics and per-step profiling breakdowns."""
+"""Accuracy metrics and per-step profiling breakdowns.
 
-from .accuracy import (
-    AccuracyReport,
-    l1_error_per_coefficient,
-    score_result,
-    support_metrics,
-)
-from .profiling import FIG2_GROUPS, StepBreakdown, measure_breakdown, modeled_breakdown
+Re-exports are lazy (PEP 562): ``repro.core`` modules import
+``repro.analysis.staticcheck.contracts`` for their ``@shape_contract``
+declarations, and an eager ``from .accuracy import ...`` here would
+close an import cycle back through ``core.sfft``.  Attribute access
+resolves the submodule on first touch and caches it in ``globals()``.
+"""
 
-__all__ = [
-    "AccuracyReport",
-    "l1_error_per_coefficient",
-    "score_result",
-    "support_metrics",
-    "FIG2_GROUPS",
-    "StepBreakdown",
-    "measure_breakdown",
-    "modeled_breakdown",
-]
+from importlib import import_module
+from typing import Any
+
+_EXPORTS = {
+    "AccuracyReport": ".accuracy",
+    "l1_error_per_coefficient": ".accuracy",
+    "score_result": ".accuracy",
+    "support_metrics": ".accuracy",
+    "FIG2_GROUPS": ".profiling",
+    "StepBreakdown": ".profiling",
+    "measure_breakdown": ".profiling",
+    "modeled_breakdown": ".profiling",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,6 +1,6 @@
 """``reprolint`` — static analysis over the repo's own invariants.
 
-Two engines behind one structured finding format (``repro.lint/1``):
+Three engines behind one structured finding format (``repro.lint/1``):
 
 * the **kernel access checker** (:mod:`.races`, :mod:`.symbolic`) — turns
   the :mod:`repro.cusim.simt` load/store trace into a race detector
@@ -12,48 +12,73 @@ Two engines behind one structured finding format (``repro.lint/1``):
   ``src/repro`` enforcing the project contracts that PR 1–4 established
   only by convention (single FFT dispatch point, metric-name families,
   frozen workspace arrays, no wall-clock in ``core``/``gpu``, typed
-  errors at entry points).
+  errors at entry points, env reads only at config seams);
+* the **shape/dtype contract engine** (:mod:`.contracts`, :mod:`.shapes`)
+  — ``core/`` pipeline functions declare their dimensional laws with
+  ``@shape_contract``; an abstract interpreter certifies each body
+  statically, and ``REPRO_CHECK_CONTRACTS=1`` asserts the same
+  declarations at runtime.
 
-``python -m repro lint`` (see :mod:`.cli`) runs both engines; findings can
+``python -m repro lint`` (see :mod:`.cli`) runs all engines; findings can
 be suppressed per line with ``# reprolint: ignore[rule]``.
+
+Re-exports are lazy (PEP 562): ``repro.core`` modules import
+:mod:`.contracts` at their own import time, and an eager ``from .races
+import ...`` here would drag in :mod:`repro.cusim` (and, transitively,
+whatever the battery needs) under every core import.
 """
 
-from .engine import collect_findings, kernel_battery, lint_tree
-from .findings import (
-    LINT_SCHEMA,
-    Finding,
-    Suppressions,
-    validate_lint_record,
-)
-from .races import KernelCheck, check_kernel, detect_races
-from .rules import RULES, Rule, lint_source
-from .symbolic import (
-    AffineIndex,
-    Proof,
-    binner_store_index,
-    fit_affine,
-    prove_injective,
-    prove_loop_partition_binner,
-)
+from importlib import import_module
+from typing import Any
 
-__all__ = [
-    "LINT_SCHEMA",
-    "Finding",
-    "Suppressions",
-    "validate_lint_record",
-    "KernelCheck",
-    "check_kernel",
-    "detect_races",
-    "RULES",
-    "Rule",
-    "lint_source",
-    "AffineIndex",
-    "Proof",
-    "binner_store_index",
-    "fit_affine",
-    "prove_injective",
-    "prove_loop_partition_binner",
-    "collect_findings",
-    "kernel_battery",
-    "lint_tree",
-]
+_EXPORTS = {
+    "collect_findings": ".engine",
+    "kernel_battery": ".engine",
+    "lint_tree": ".engine",
+    "LINT_SCHEMA": ".findings",
+    "Finding": ".findings",
+    "Suppressions": ".findings",
+    "validate_lint_record": ".findings",
+    "KernelCheck": ".races",
+    "check_kernel": ".races",
+    "detect_races": ".races",
+    "RULES": ".rules",
+    "Rule": ".rules",
+    "lint_source": ".rules",
+    "AffineIndex": ".symbolic",
+    "Proof": ".symbolic",
+    "binner_store_index": ".symbolic",
+    "fit_affine": ".symbolic",
+    "prove_injective": ".symbolic",
+    "prove_loop_partition_binner": ".symbolic",
+    "prove_product_equal": ".symbolic",
+    "Contract": ".contracts",
+    "Dim": ".contracts",
+    "contract_for": ".contracts",
+    "enforcement_enabled": ".contracts",
+    "registered_contracts": ".contracts",
+    "set_enforcement": ".contracts",
+    "shape_contract": ".contracts",
+    "SHAPE_RULES": ".shapes",
+    "REQUIRED_CONTRACTS": ".shapes",
+    "check_contract": ".shapes",
+    "check_contracts": ".shapes",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,4 +1,4 @@
-"""Orchestration: walk ``src/repro``, run both engines, collect findings.
+"""Orchestration: walk ``src/repro``, run every engine, collect findings.
 
 :func:`lint_tree` runs the AST rules over every library source file;
 :func:`kernel_battery` runs the kernel access checker over the
@@ -12,8 +12,13 @@ project's kernel contracts:
   ``race-detector-selfcheck`` error, so a silently broken detector cannot
   produce a green lint.
 
-Both feed :func:`collect_findings`, the single entry ``python -m repro
-lint`` and ``scripts/lint_gate.py`` share.
+:func:`~repro.analysis.staticcheck.shapes.check_contracts` is the third
+engine: it certifies every ``@shape_contract`` declaration in ``core/``
+against its function body (with its own transposed-reshape negative
+control inside ``workspace.py``).
+
+All three feed :func:`collect_findings`, the single entry ``python -m
+repro lint`` and ``scripts/lint_gate.py`` share.
 """
 
 from __future__ import annotations
@@ -137,10 +142,13 @@ def kernel_battery() -> list[Finding]:
 
 
 def collect_findings(
-    root: str | None = None, *, kernels: bool = True
+    root: str | None = None, *, kernels: bool = True, shapes: bool = True
 ) -> list[Finding]:
-    """Everything ``python -m repro lint`` reports: AST rules + battery."""
+    """Everything ``python -m repro lint`` reports: all engines' findings."""
     findings = lint_tree(root)
     if kernels:
         findings.extend(kernel_battery())
+    if shapes:
+        from .shapes import check_contracts
+        findings.extend(check_contracts(root))
     return findings

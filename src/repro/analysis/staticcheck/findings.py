@@ -48,7 +48,7 @@ class Finding:
     path: str               # repo-relative, posix separators
     line: int
     message: str
-    engine: str = "ast"     # "ast" | "race"
+    engine: str = "ast"     # "ast" | "race" | "shape"
     col: int = 0
 
     def __post_init__(self) -> None:
@@ -78,7 +78,7 @@ class Finding:
         """
         return f"{self.rule}::{self.path}::{self.message}"
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         """One ``repro.lint/1`` record."""
         return {
             "schema": LINT_SCHEMA,
@@ -95,7 +95,7 @@ class Finding:
 class Suppressions:
     """Per-line ``# reprolint: ignore[...]`` markers of one source file."""
 
-    def __init__(self, source: str):
+    def __init__(self, source: str) -> None:
         self._by_line: dict[int, frozenset[str] | None] = {}
         for lineno, text in enumerate(source.splitlines(), start=1):
             match = _IGNORE_RE.search(text)
@@ -152,7 +152,7 @@ def validate_lint_record(record: object) -> list[str]:
                             f"got {value!r}")
     if not (isinstance(record.get("message"), str) and record["message"]):
         problems.append("message must be a non-empty string")
-    if record.get("engine") not in ("ast", "race"):
-        problems.append(f"engine must be 'ast' or 'race', "
+    if record.get("engine") not in ("ast", "race", "shape"):
+        problems.append(f"engine must be 'ast', 'race', or 'shape', "
                         f"got {record.get('engine')!r}")
     return problems

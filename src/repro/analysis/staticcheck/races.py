@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -44,7 +45,7 @@ __all__ = ["KernelCheck", "check_kernel", "detect_races"]
 _MAX_PER_BUFFER = 3
 
 
-def _kernel_anchor(kernel) -> tuple[str, int]:
+def _kernel_anchor(kernel: Any) -> tuple[str, int]:
     """``(path, line)`` of the kernel body's ``def``, repo-relative-ish."""
     code = getattr(kernel, "__code__", None)
     if code is None:  # e.g. a functools.partial or callable object
@@ -68,7 +69,7 @@ class _Access:
 def detect_races(
     events: list[MemEvent],
     *,
-    kernel=None,
+    kernel: Any = None,
     kernel_name: str | None = None,
 ) -> list[Finding]:
     """Findings in one kernel run's memory-event trace.
@@ -201,7 +202,7 @@ class KernelCheck:
 
 
 def check_kernel(
-    kernel,
+    kernel: Any,
     total_threads: int,
     device: DeviceSpec,
     *buffers: np.ndarray,

@@ -40,6 +40,15 @@ by path relative to the ``repro`` package root (posix separators):
   outside the tuner's candidate generator, which *produces* the grid)
   silently pins a configuration the wisdom store can never improve.
   Exempt: ``core/params.py``, ``core/parameters.py``, ``tune/``.
+* ``env-read-outside-seam`` — process environment reads
+  (``os.environ`` / ``os.getenv``) are configuration seams, and the repo
+  keeps them enumerable: parameter resolution (``core/params.py``), the
+  FFT backend default (``core/fft_backend.py``), the executor's mode and
+  fault-injection knobs (``core/executor.py``), and the CLI
+  (``__main__.py``).  An env read anywhere else creates ambient config
+  the wisdom store, the docs, and the reproducibility story cannot see.
+  Suppress (with a rationale comment) only for opt-in debug/test hooks
+  such as the runtime contract-enforcement flag.
 * ``shm-lifecycle`` — ``multiprocessing.shared_memory`` segments are
   kernel-persistent objects: a leaked name survives the process in
   ``/dev/shm``.  Only ``core/shm.py`` (the PR-8 ownership layer —
@@ -53,6 +62,7 @@ from __future__ import annotations
 
 import ast
 import re
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from .findings import Finding, Suppressions
@@ -134,6 +144,16 @@ RULES: dict[str, Rule] = {r.id: r for r in (
         "through the seam, or suppress where a fixed grid is the point.",
     ),
     Rule(
+        "env-read-outside-seam", "error",
+        "os.environ/os.getenv read outside a sanctioned config seam",
+        "Environment reads are configuration inputs; the repo keeps them "
+        "enumerable at four seams (core/params.py, core/fft_backend.py, "
+        "core/executor.py, __main__.py) so every knob is discoverable "
+        "and reproducible.  Reads elsewhere create ambient configuration "
+        "— thread the value through a parameter, or suppress with a "
+        "rationale for deliberate opt-in hooks.",
+    ),
+    Rule(
         "shm-lifecycle", "error",
         "SharedMemory constructed outside core/shm.py, or created "
         "without an unlink path",
@@ -190,6 +210,11 @@ _EXEMPT = {
     "param-resolution-bypass": (
         "core/params.py", "core/parameters.py", "tune/",
     ),
+    # The sanctioned configuration seams (see the rule's rationale).
+    "env-read-outside-seam": (
+        "core/params.py", "core/fft_backend.py", "core/executor.py",
+        "__main__.py",
+    ),
 }
 #: wallclock-in-core only *applies* to these subtrees.
 _WALLCLOCK_SCOPE = ("core/", "gpu/")
@@ -216,7 +241,7 @@ def _attr_chain(node: ast.AST) -> list[str] | None:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, relpath: str, path: str):
+    def __init__(self, relpath: str, path: str) -> None:
         self.relpath = relpath
         self.path = path
         #: ``(finding, end_lineno)`` — the end line widens suppression
@@ -252,6 +277,16 @@ class _Visitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in _CLOCK_FUNCS:
                     self._clock_names.add(alias.asname or alias.name)
+        if node.module == "os" and node.level == 0:
+            bad = [a.name for a in node.names
+                   if a.name in ("environ", "getenv")]
+            if bad:
+                self._emit(
+                    "env-read-outside-seam", node,
+                    f"import of {', '.join(bad)} from os — environment "
+                    f"reads belong to the config seams (core/params.py, "
+                    f"core/fft_backend.py, core/executor.py, __main__.py)",
+                )
         if node.module and node.level == 0:
             root = node.module.split(".")[0]
             tail = node.module.split(".")[-1]
@@ -381,7 +416,7 @@ class _Visitor(ast.NodeVisitor):
     # -- functions: segment creation must carry an unlink path --------------
 
     @staticmethod
-    def _same_scope(node: ast.AST):
+    def _same_scope(node: ast.AST) -> Iterator[ast.AST]:
         """Descendants of ``node`` excluding nested function bodies."""
         stack = list(ast.iter_child_nodes(node))
         while stack:
@@ -438,7 +473,9 @@ class _Visitor(ast.NodeVisitor):
             return node.attr
         return None
 
-    def _check_store_targets(self, node: ast.AST, targets) -> None:
+    def _check_store_targets(
+        self, node: ast.AST, targets: Sequence[ast.AST]
+    ) -> None:
         for target in targets:
             if isinstance(target, (ast.Tuple, ast.List)):
                 self._check_store_targets(node, target.elts)
@@ -463,6 +500,17 @@ class _Visitor(ast.NodeVisitor):
     # -- attribute loads/stores: telemetry internals ------------------------
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = _attr_chain(node)
+        if chain in (["os", "environ"], ["os", "getenv"]):
+            # Matches only the two-element chain, so `os.environ.get(...)`
+            # emits once (on the inner `os.environ` node, not on `.get`).
+            self._emit(
+                "env-read-outside-seam", node,
+                f"{'.'.join(chain)} read outside a sanctioned config seam "
+                f"(core/params.py, core/fft_backend.py, core/executor.py, "
+                f"__main__.py) — thread the value through a parameter, or "
+                f"suppress with a rationale for a deliberate opt-in hook",
+            )
         if node.attr in _TELEMETRY_INTERNALS:
             self._emit(
                 "telemetry-thread-safety", node,

@@ -38,6 +38,7 @@ from contextlib import nullcontext
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError, RecoveryError
 from ..utils.rng import RngLike
 from ..utils.validation import as_complex_signal
@@ -52,6 +53,8 @@ __all__ = ["sfft_batch_fused", "run_stack_pipeline", "as_signal_stack",
            "comb_masks_for_stack"]
 
 
+@shape_contract("X:*, plan:* -> (S, n)", dtype="complex128",
+                bind={"n": "plan.n"})
 def as_signal_stack(X: np.ndarray, plan: SfftPlan) -> np.ndarray:
     """Validate ``X`` as an ``(S, n)`` complex stack for ``plan``, no-copy
     when it already is one (C-contiguous ``complex128``)."""
@@ -71,6 +74,8 @@ def as_signal_stack(X: np.ndarray, plan: SfftPlan) -> np.ndarray:
     return np.stack([as_complex_signal(row, plan.n) for row in X])
 
 
+@shape_contract("X:(S, n), plan:* -> (S, W)",
+                bind={"n": "plan.n", "W": "comb_width"})
 def comb_masks_for_stack(
     X: np.ndarray,
     plan: SfftPlan,
@@ -93,6 +98,10 @@ def comb_masks_for_stack(
     ])
 
 
+@shape_contract("X:(S, n):complex128, plan:* -> *",
+                bind={"n": "plan.n", "B": "plan.params.B",
+                      "L": "plan.params.loops",
+                      "v": "plan.params.voting_loops"})
 def run_stack_pipeline(
     X: np.ndarray,
     plan: SfftPlan,
@@ -180,6 +189,7 @@ def run_stack_pipeline(
     return results
 
 
+@shape_contract("X:*, plan:* -> *", bind={"n": "plan.n"})
 def sfft_batch_fused(
     X: np.ndarray,
     plan: SfftPlan,

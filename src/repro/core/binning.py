@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError
 from ..filters.base import FlatFilter
 from .permutation import Permutation, permuted_indices
@@ -40,6 +41,9 @@ def _check_args(x: np.ndarray, filt: FlatFilter, B: int, perm: Permutation) -> N
         raise ParameterError(f"B={B} must divide n={filt.n}")
 
 
+@shape_contract("x:(n,) -> (B,)", dtype="complex128",
+                bind={"n": "perm.n", "B": "B", "W": "filt.width"},
+                attrs={"filt.time": "(W,):complex128"})
 def bin_serial(
     x: np.ndarray, filt: FlatFilter, B: int, perm: Permutation
 ) -> np.ndarray:
@@ -57,6 +61,9 @@ def bin_serial(
     return buckets
 
 
+@shape_contract("x:(n,) -> (B,)", dtype="complex128",
+                bind={"n": "perm.n", "B": "B", "W": "filt.width"},
+                attrs={"filt.time": "(W,):complex128"})
 def bin_vectorized(
     x: np.ndarray, filt: FlatFilter, B: int, perm: Permutation
 ) -> np.ndarray:
@@ -76,6 +83,9 @@ def bin_vectorized(
     return y.reshape(rounds, B).sum(axis=0)
 
 
+@shape_contract("x:(n,) -> (B,)", dtype="complex128",
+                bind={"n": "perm.n", "B": "B", "W": "filt.width"},
+                attrs={"filt.time": "(W,):complex128"})
 def bin_loop_partition(
     x: np.ndarray, filt: FlatFilter, B: int, perm: Permutation
 ) -> np.ndarray:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
 ]
 
 
+@shape_contract("magnitudes:*, m:* -> *", dtype="int64")
 def select_topk(magnitudes: np.ndarray, m: int) -> np.ndarray:
     """Indices of the ``m`` largest entries (unordered), exact.
 
@@ -63,6 +65,7 @@ def noise_floor_threshold(magnitudes: np.ndarray, factor: float = 4.0) -> float:
     return float(factor * np.median(mags))
 
 
+@shape_contract("magnitudes:*, threshold:* -> *", dtype="int64")
 def select_threshold(
     magnitudes: np.ndarray,
     threshold: float,
@@ -86,6 +89,7 @@ def select_threshold(
     return chosen
 
 
+@shape_contract("magnitudes:*, m:* -> *", dtype="int64")
 def cutoff(
     magnitudes: np.ndarray,
     m: int,
@@ -112,6 +116,7 @@ def cutoff(
     raise ParameterError(f"unknown cutoff method {method!r}")
 
 
+@shape_contract("magnitudes:(R, B), m:* -> *")
 def cutoff_rows(
     magnitudes: np.ndarray,
     m: int,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError
 from ..filters.base import FlatFilter
 from .permutation import Permutation
@@ -37,6 +38,10 @@ __all__ = [
 ]
 
 
+@shape_contract("frequencies:(F,), bucket_rows:(L, B):complex128 -> (F, L)",
+                dtype="complex128",
+                bind={"B": "B", "n": "filt.n"},
+                attrs={"filt.freq": "(n,):complex128"})
 def loop_estimates(
     frequencies: np.ndarray,
     bucket_rows: np.ndarray,
@@ -149,6 +154,8 @@ def componentwise_median(estimates: np.ndarray) -> np.ndarray:
     return np.median(est.real, axis=-1) + 1j * np.median(est.imag, axis=-1)
 
 
+@shape_contract("frequencies:(F,), bucket_rows:(L, B):complex128 -> (F,)",
+                dtype="complex128", bind={"B": "B"})
 def estimate_values(
     frequencies: np.ndarray,
     bucket_rows: np.ndarray,
@@ -162,6 +169,10 @@ def estimate_values(
     )
 
 
+@shape_contract("hits_per_signal:*, bucket_rows_stack:(S, L, B):complex128"
+                " -> *",
+                bind={"S": "len(hits_per_signal)", "B": "B", "n": "filt.n"},
+                attrs={"filt.freq": "(n,):complex128"})
 def estimate_values_stack(
     hits_per_signal: list[np.ndarray],
     bucket_rows_stack: np.ndarray,

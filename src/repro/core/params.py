@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..errors import ParameterError
 
@@ -58,7 +59,7 @@ class ResolvedConfig:
     """
 
     source: str
-    overrides: dict = field(default_factory=dict)
+    overrides: dict[str, Any] = field(default_factory=dict)
     comb_width: int | None = None
     fft_backend: str | None = None
     executor_mode: str | None = None
@@ -125,7 +126,7 @@ def resolve_sfft_config(
     *,
     batch_size: int = 1,
     noise_class: str = "exact",
-    explicit: dict | None = None,
+    explicit: dict[str, Any] | None = None,
     comb_width: int | None = None,
     wisdom_path: str | None = None,
 ) -> ResolvedConfig:
@@ -153,7 +154,7 @@ def resolve_sfft_config(
         if resolved is not None:
             return resolved
 
-    env_overrides: dict = {}
+    env_overrides: dict[str, Any] = {}
     env_b, env_loops = _env_int(ENV_B), _env_int(ENV_LOOPS)
     if env_b is not None:
         env_overrides["B"] = env_b

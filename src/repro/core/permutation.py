@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError
 from ..utils.modmath import gcd, mod_inverse, mod_mult_range, random_invertible
 from ..utils.rng import RngLike, ensure_rng
@@ -72,6 +73,8 @@ def random_permutation(n: int, rng: RngLike = None) -> Permutation:
     return Permutation(n=n, sigma=sigma, sigma_inv=mod_inverse(sigma, n), tau=tau)
 
 
+@shape_contract("perm:*, count:* -> (count,)", dtype="int64",
+                bind={"count": "count"})
 def permuted_indices(perm: Permutation, count: int) -> np.ndarray:
     """Signal indices touched by the first ``count`` filter taps.
 
@@ -82,6 +85,7 @@ def permuted_indices(perm: Permutation, count: int) -> np.ndarray:
     return mod_mult_range(perm.tau, count, perm.sigma, perm.n)
 
 
+@shape_contract("x:(n,) -> (n,)", bind={"n": "perm.n"})
 def permute_dense(x: np.ndarray, perm: Permutation) -> np.ndarray:
     """Full-length permuted signal ``y[i] = x[(sigma*i + tau) % n]``.
 

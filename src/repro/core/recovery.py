@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError
 from .permutation import Permutation
 
@@ -46,6 +47,8 @@ def _distinct_int64(values: np.ndarray) -> np.ndarray:
     return ordered[keep]
 
 
+@shape_contract("selected_buckets:*, perm:* -> *", dtype="int64",
+                bind={"n": "perm.n", "B": "B"})
 def candidate_frequencies(
     selected_buckets: np.ndarray, perm: Permutation, B: int
 ) -> np.ndarray:
@@ -122,6 +125,8 @@ class VoteAccumulator:
         return np.flatnonzero(self.scores >= threshold).astype(np.int64)
 
 
+@shape_contract("selected_per_loop:*, permutations:* -> *",
+                bind={"n": "permutations[0].n", "B": "B"})
 def recover_locations(
     selected_per_loop: list[np.ndarray],
     permutations: list[Permutation],
@@ -158,6 +163,9 @@ def recover_locations(
     return hits, acc.scores[hits].astype(np.int64)
 
 
+@shape_contract("selected:*, permutations:* -> *",
+                bind={"S": "len(selected)", "n": "permutations[0].n",
+                      "B": "B"})
 def recover_locations_stack(
     selected: list[list[np.ndarray]],
     permutations: list[Permutation],

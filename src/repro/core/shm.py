@@ -63,6 +63,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError
 
 __all__ = [
@@ -143,6 +144,7 @@ class SharedArraySpec:
             count *= int(dim)
         return count * np.dtype(self.dtype).itemsize
 
+    @shape_contract("seg:* -> @self.shape", dtype="@self.dtype")
     def as_array(
         self,
         seg: shared_memory.SharedMemory,
@@ -299,6 +301,7 @@ class AttachedSegment:
     def __init__(self, name: str):
         self._seg = _attach(name)
 
+    @shape_contract("spec:* -> @spec.shape", dtype="@spec.dtype")
     def view(
         self, spec: "SharedArraySpec", *, writeable: bool = False
     ) -> np.ndarray:

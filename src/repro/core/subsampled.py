@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError
 from .fft_backend import get_backend
 
 __all__ = ["bucket_fft", "subsample_spectrum"]
 
 
+@shape_contract("buckets:* -> *", dtype="complex128")
 def bucket_fft(
     buckets: np.ndarray,
     *,
@@ -41,6 +43,7 @@ def bucket_fft(
     return get_backend(backend).fft(b, axis=-1, workers=workers)
 
 
+@shape_contract("spectrum:*, B:* -> (b,)", bind={"b": "B"})
 def subsample_spectrum(spectrum: np.ndarray, B: int) -> np.ndarray:
     """Reference: take every ``n/B``-th bin of a dense length-``n`` spectrum.
 

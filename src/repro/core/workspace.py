@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.staticcheck.contracts import shape_contract
 from ..errors import ParameterError
 from .permutation import permuted_indices
 from .subsampled import bucket_fft as _dispatch_bucket_fft
@@ -163,6 +164,11 @@ class PlanWorkspace:
             )
         return self._gather
 
+    @shape_contract(
+        "r:* -> (rounds*B,)", dtype="int64",
+        bind={"rounds": "self.rounds", "B": "self.B"},
+        attrs={"self._padded": "rounds*B"},
+    )
     def _gather_row(self, r: int) -> np.ndarray:
         return permuted_indices(self.plan.permutations[r], self._padded)
 
@@ -265,6 +271,7 @@ class PlanWorkspace:
 
     # -- bucket FFT dispatch -----------------------------------------------
 
+    @shape_contract("buckets:(M, K) -> (M, K)", dtype="complex128")
     def bucket_fft(self, buckets: np.ndarray) -> np.ndarray:
         """Step 3 through this workspace's FFT backend binding.
 
@@ -278,6 +285,15 @@ class PlanWorkspace:
 
     # -- fused binning -----------------------------------------------------
 
+    @shape_contract(
+        "x:(n,) -> (L, B)", dtype="complex128",
+        bind={"n": "self.n", "L": "self.loops", "B": "self.B",
+              "rounds": "self.rounds"},
+        attrs={"self.raw": "(L, B):complex128",
+               "self.gather": "(L, rounds*B):int64",
+               "self.taps_flat": "(rounds*B,):complex128",
+               "self._padded": "rounds*B"},
+    )
     def bin_fused(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Steps 1-2 for all ``L`` loops at once: gather, tap, fold.
 
@@ -311,6 +327,14 @@ class PlanWorkspace:
                        out=buckets[r])
         return buckets
 
+    @shape_contract(
+        "X:(S, n) -> (S, L, B)", dtype="complex128",
+        bind={"n": "self.n", "L": "self.loops", "B": "self.B",
+              "rounds": "self.rounds"},
+        attrs={"self.gather": "(L, rounds*B):int64",
+               "self.taps_flat": "(rounds*B,):complex128",
+               "self._padded": "rounds*B"},
+    )
     def bin_fused_stack(self, X: np.ndarray) -> np.ndarray:
         """Fused binning over an ``(S, n)`` signal stack -> ``(S, L, B)``.
 
@@ -343,3 +367,28 @@ class PlanWorkspace:
                 out=out[lo:hi],
             )
         return out
+
+    @shape_contract(
+        "x:(n,) -> (L, B)", dtype="complex128",
+        bind={"n": "self.n", "L": "self.loops", "B": "self.B",
+              "rounds": "self.rounds"},
+        attrs={"self.gather": "(L, rounds*B):int64",
+               "self.taps_flat": "(rounds*B,):complex128"},
+        expect_violation=True,
+    )
+    def _selfcheck_transposed_fold(self, x: np.ndarray) -> np.ndarray:
+        """Negative control for the shape checker — never call this.
+
+        A deliberately transposed fold: the reshape conserves elements
+        (so reshape-conservation alone cannot catch it) but the result is
+        ``(B, L)`` where the contract — and every real consumer — demands
+        ``(L, B)``.  The static checker must flag the return or
+        ``shape-checker-selfcheck`` fires, exactly as the naive histogram
+        keeps the race detector honest.  Runtime enforcement rejects it
+        too: under ``REPRO_CHECK_CONTRACTS=1`` calling this raises
+        :class:`~repro.errors.ContractError`.
+        """
+        y = x[self.gather]
+        y *= self.taps_flat
+        folded = np.sum(y.reshape(self.loops, self.rounds, self.B), axis=1)
+        return folded.reshape(self.B, self.loops)

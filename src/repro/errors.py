@@ -22,6 +22,18 @@ class ParameterError(ReproError, ValueError):
     """
 
 
+class ContractError(ParameterError):
+    """A declared shape/dtype contract was violated at runtime.
+
+    Raised by the runtime half of the contract engine
+    (:mod:`repro.analysis.staticcheck.contracts`, enabled with
+    ``REPRO_CHECK_CONTRACTS=1``) when an array crossing a
+    ``@shape_contract``-decorated boundary does not satisfy the declared
+    symbolic shape or dtype.  Subclasses :class:`ParameterError` so
+    callers that already catch the parameter hierarchy keep working.
+    """
+
+
 class FilterDesignError(ReproError, ValueError):
     """A flat-window filter cannot be constructed from the given spec."""
 

@@ -21,6 +21,7 @@ structurally slower than not tuning at all.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 from ..core.fft_backend import available_backends, default_backend_name
 from ..core.parameters import derive_parameters
@@ -80,9 +81,9 @@ class Candidate:
     def is_default(self) -> bool:
         return self == Candidate()
 
-    def plan_overrides(self, n: int, k: int) -> dict:
+    def plan_overrides(self, n: int, k: int) -> dict[str, Any]:
         """Derivation overrides this candidate applies for ``(n, k)``."""
-        out: dict = {}
+        out: dict[str, Any] = {}
         if self.B_scale != 1.0:
             base = derive_parameters(n, k).B
             scaled = next_power_of_two(
@@ -93,12 +94,12 @@ class Candidate:
             out["loops"] = self.loops
         return out
 
-    def resolved(self, n: int, k: int) -> dict:
+    def resolved(self, n: int, k: int) -> dict[str, Any]:
         """``{"B", "loops"}`` the candidate resolves to (the wisdom form)."""
         params = derive_parameters(n, k, **self.plan_overrides(n, k))
         return {"B": params.B, "loops": params.loops}
 
-    def config(self) -> dict:
+    def config(self) -> dict[str, Any]:
         """The ``repro.wisdom/1`` ``config`` block for this candidate."""
         return {
             "B_scale": float(self.B_scale),
@@ -114,7 +115,7 @@ class Candidate:
         """Short human-readable tag for ranking tables."""
         if self.is_default:
             return "default"
-        parts = []
+        parts: list[str] = []
         if self.B_scale != 1.0:
             parts.append(f"B*{self.B_scale:g}")
         if self.loops is not None:
@@ -188,7 +189,7 @@ def generate_candidates(
     return unique
 
 
-def candidate_from_config(config: dict) -> Candidate:
+def candidate_from_config(config: dict[str, Any]) -> Candidate:
     """Rebuild a :class:`Candidate` from a wisdom record's config block."""
     return replace(
         Candidate(),

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import math
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 import numpy as np
 
@@ -93,14 +95,16 @@ class TuneOutcome:
     winner: CandidateStats
     default: CandidateStats
     improved: bool
-    record: dict
+    record: dict[str, Any]
 
     @property
     def speedup_x(self) -> float:
         return self.winner.speedup_vs(self.default.median_s)
 
 
-def _probe_signals(wc: WorkloadClass, config: TuneConfig, seed: int):
+def _probe_signals(
+    wc: WorkloadClass, config: TuneConfig, seed: int
+) -> tuple[list[np.ndarray], list[set[int]]]:
     """``(signals, truths)``: probe inputs and their ground-truth supports.
 
     Probes are well separated (``n / 4k`` minimum circular distance) so
@@ -123,7 +127,9 @@ def _probe_signals(wc: WorkloadClass, config: TuneConfig, seed: int):
     return xs, truths
 
 
-def _build_runner(wc: WorkloadClass, cand: Candidate, xs, plan):
+def _build_runner(
+    wc: WorkloadClass, cand: Candidate, xs: list[np.ndarray], plan: Any
+) -> Callable[[], Any]:
     """A zero-argument callable running the candidate's configuration.
 
     Returns the per-signal result list so the exactness screen can reuse
@@ -132,14 +138,14 @@ def _build_runner(wc: WorkloadClass, cand: Candidate, xs, plan):
     if wc.batch_size == 1:
         x = xs[0]
 
-        def run():
+        def run() -> Any:
             return [sfft(x, plan=plan, comb_width=cand.comb_width)]
 
         return run
 
     stack = np.stack(xs)
     executor = None
-    kwargs: dict = {}
+    kwargs: dict[str, Any] = {}
     if cand.executor_mode is not None or cand.workers > 1:
         from ..core.executor import ShardedExecutor
 
@@ -150,7 +156,7 @@ def _build_runner(wc: WorkloadClass, cand: Candidate, xs, plan):
     elif cand.fft_backend is not None:
         kwargs["fft_backend"] = cand.fft_backend
 
-    def run():
+    def run() -> Any:
         return sfft_batch(
             stack, plan=plan, executor=executor,
             comb_width=cand.comb_width, **kwargs,
@@ -160,7 +166,8 @@ def _build_runner(wc: WorkloadClass, cand: Candidate, xs, plan):
 
 
 def measure_candidate(
-    wc: WorkloadClass, cand: Candidate, xs, truths, config: TuneConfig,
+    wc: WorkloadClass, cand: Candidate, xs: list[np.ndarray],
+    truths: list[set[int]], config: TuneConfig,
     *, seed: int,
 ) -> CandidateStats:
     """Time one candidate: exactness screen, warmup, ``trials`` samples."""
@@ -195,7 +202,7 @@ def measure_candidate(
         estimate = max(monotonic() - t0, 1e-9)
         reps = max(1, min(64, math.ceil(config.target_span_s / estimate)))
 
-    samples = []
+    samples: list[float] = []
     for _ in range(config.trials):
         t0 = monotonic()
         for _ in range(reps):
@@ -221,7 +228,7 @@ def _beats_default(stats: CandidateStats, default: CandidateStats,
 
 
 def build_record(wc: WorkloadClass, winner: CandidateStats,
-                 default: CandidateStats, config: TuneConfig) -> dict:
+                 default: CandidateStats, config: TuneConfig) -> dict[str, Any]:
     """The ``repro.wisdom/1`` record (version-less; stores assign it)."""
     resolved = winner.candidate.resolved(wc.n, wc.k)
     return {

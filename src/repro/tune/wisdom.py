@@ -24,6 +24,7 @@ import json
 import os
 import re
 from dataclasses import astuple, fields
+from typing import Any
 
 from ..core.parameters import SfftParameters, derive_parameters
 from ..errors import ParameterError
@@ -87,7 +88,7 @@ def parse_class_key(key: str) -> tuple[int, int, str, int]:
     return int(m.group(1)), int(m.group(2)), m.group(3), int(m.group(4))
 
 
-def config_fingerprint(n: int, k: int, overrides: dict) -> str:
+def config_fingerprint(n: int, k: int, overrides: dict[str, Any]) -> str:
     """Fingerprint of the plan a tuned config resolves to *right now*.
 
     Hashes the :class:`SfftParameters` field names plus the fully resolved
@@ -107,11 +108,11 @@ def config_fingerprint(n: int, k: int, overrides: dict) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
-def _is_int(value) -> bool:
+def _is_int(value: Any) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
 
 
-def _check_config(config, problems: list[str]) -> None:
+def _check_config(config: Any, problems: list[str]) -> None:
     if not isinstance(config, dict):
         problems.append("config must be an object")
         return
@@ -139,7 +140,7 @@ def _check_config(config, problems: list[str]) -> None:
         problems.append("config.workers must be an int >= 1")
 
 
-def validate_wisdom_record(record) -> list[str]:
+def validate_wisdom_record(record: Any) -> list[str]:
     """Problems that make ``record`` an invalid ``repro.wisdom/1`` doc."""
     if not isinstance(record, dict):
         return ["wisdom record must be a JSON object"]
@@ -189,7 +190,7 @@ def validate_wisdom_record(record) -> list[str]:
     return problems
 
 
-def wisdom_overrides(record: dict) -> dict:
+def wisdom_overrides(record: dict[str, Any]) -> dict[str, Any]:
     """Plan-derivation overrides a consumer applies for this record.
 
     Consumption uses the *resolved* ``B``/``loops`` (not the search-space
@@ -200,7 +201,7 @@ def wisdom_overrides(record: dict) -> dict:
     return {"B": int(resolved["B"]), "loops": int(resolved["loops"])}
 
 
-def is_stale(record: dict, n: int, k: int) -> bool:
+def is_stale(record: dict[str, Any], n: int, k: int) -> bool:
     """True when the record's fingerprint no longer matches current code.
 
     A config whose overrides no longer validate (e.g. a ``B`` the current
@@ -214,16 +215,16 @@ def is_stale(record: dict, n: int, k: int) -> bool:
     return fresh != record.get("fingerprint")
 
 
-def lookup_records(records: list[dict], n: int, k: int, *,
+def lookup_records(records: list[dict[str, Any]], n: int, k: int, *,
                    noise_class: str = "exact",
-                   batch_size: int = 1) -> dict | None:
+                   batch_size: int = 1) -> dict[str, Any] | None:
     """Latest record matching the workload class among ``records``.
 
     Tries the exact batch-size class first, then the ``batch=1`` class —
     per-call wisdom still beats paper defaults for a batch the tuner never
     measured.  Within a class, the highest version wins.
     """
-    latest: dict[str, dict] = {}
+    latest: dict[str, dict[str, Any]] = {}
     for record in records:
         prev = latest.get(record["class"])
         if prev is None or record["version"] > prev["version"]:
@@ -245,14 +246,14 @@ class WisdomStore:
     wisdom still beats paper defaults for a batch the tuner never saw.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = str(path)
 
-    def load(self) -> list[dict]:
+    def load(self) -> list[dict[str, Any]]:
         """All records, validated; ``[]`` when the file does not exist."""
         if not os.path.exists(self.path):
             return []
-        records: list[dict] = []
+        records: list[dict[str, Any]] = []
         versions: dict[str, int] = {}
         with open(self.path, encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, start=1):
@@ -282,7 +283,7 @@ class WisdomStore:
         return records
 
     def lookup(self, n: int, k: int, *, noise_class: str = "exact",
-               batch_size: int = 1) -> dict | None:
+               batch_size: int = 1) -> dict[str, Any] | None:
         """Latest record for the class, with the ``batch=1`` fallback."""
         return lookup_records(
             self.load(), n, k, noise_class=noise_class, batch_size=batch_size
@@ -293,7 +294,7 @@ class WisdomStore:
         versions = [r["version"] for r in self.load() if r["class"] == cls]
         return max(versions, default=0) + 1
 
-    def append(self, record: dict) -> dict:
+    def append(self, record: dict[str, Any]) -> dict[str, Any]:
         """Validate and atomically append one record; returns it.
 
         A missing ``version`` is assigned (current max for the class + 1);
@@ -325,10 +326,10 @@ class WisdomStore:
 #: resolution seam runs on every plan-less ``sfft`` call; re-parsing the
 #: store each time would tax the hot path, while the (mtime, size)
 #: signature keeps appended-to files visible.
-_STORE_CACHE: dict[str, tuple[tuple[int, int], list[dict]]] = {}
+_STORE_CACHE: dict[str, tuple[tuple[int, int], list[dict[str, Any]]]] = {}
 
 
-def load_wisdom(path: str) -> list[dict]:
+def load_wisdom(path: str) -> list[dict[str, Any]]:
     """Validated records of ``path`` through the consumption cache."""
     apath = os.path.abspath(path)
     try:

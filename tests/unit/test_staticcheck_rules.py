@@ -343,6 +343,61 @@ class TestBareValueError:
         """) == []
 
 
+class TestEnvReadOutsideSeam:
+    def test_os_environ_read_is_flagged(self):
+        findings = _lint("""
+            import os
+            mode = os.environ["REPRO_MODE"]
+        """)
+        assert _rules(findings) == ["env-read-outside-seam"]
+        assert "config seam" in findings[0].message
+
+    def test_os_environ_get_emits_once(self):
+        findings = _lint("""
+            import os
+            mode = os.environ.get("REPRO_MODE", "")
+        """)
+        assert _rules(findings) == ["env-read-outside-seam"]
+
+    def test_os_getenv_is_flagged(self):
+        findings = _lint("""
+            import os
+            mode = os.getenv("REPRO_MODE")
+        """)
+        assert _rules(findings) == ["env-read-outside-seam"]
+
+    def test_from_os_import_is_flagged(self):
+        findings = _lint("from os import environ\n")
+        assert _rules(findings) == ["env-read-outside-seam"]
+        findings = _lint("from os import getenv\n")
+        assert _rules(findings) == ["env-read-outside-seam"]
+
+    @pytest.mark.parametrize("seam", [
+        "core/params.py", "core/fft_backend.py", "core/executor.py",
+        "__main__.py",
+    ])
+    def test_sanctioned_seams_are_exempt(self, seam):
+        findings = _lint("""
+            import os
+            mode = os.environ.get("REPRO_MODE", "")
+            other = os.getenv("REPRO_OTHER")
+        """, relpath=seam)
+        assert findings == []
+
+    def test_non_env_os_attrs_are_clean(self):
+        assert _lint("""
+            import os
+            path = os.path.join(os.sep, "tmp")
+            pid = os.getpid()
+        """) == []
+
+    def test_suppression_works(self):
+        src = ("import os\n"
+               "flag = os.environ.get('X', '')  "
+               "# reprolint: ignore[env-read-outside-seam]\n")
+        assert lint_source(src, path="a.py", relpath="core/a.py") == []
+
+
 class TestSuppressions:
     def test_targeted_suppression(self):
         src = ("import numpy as np\n"
@@ -409,7 +464,7 @@ class TestFindingSchema:
             "fft-registry-bypass", "metric-name-family",
             "workspace-mutation", "wallclock-in-core", "bare-valueerror",
             "telemetry-thread-safety", "span-orphan", "shm-lifecycle",
-            "param-resolution-bypass",
+            "param-resolution-bypass", "env-read-outside-seam",
         }
         for rule in RULES.values():
             assert rule.summary and rule.rationale
